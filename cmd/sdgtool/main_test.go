@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sicost/internal/sdg"
+	"sicost/internal/smallbank"
+)
+
+func TestParseMix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mix.json")
+	const doc = `{
+	  "programs": [
+	    {"name": "P", "accesses": [
+	      {"table": "T", "cols": ["V"], "param": "x", "kind": "r"},
+	      {"table": "T", "cols": ["V"], "param": "x", "kind": "w"},
+	      {"table": "U", "cols": ["V"], "param": "x", "kind": "pr"},
+	      {"table": "C", "cols": ["V"], "param": "0", "fixed": true, "kind": "w"}
+	    ]}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	progs, err := parseMix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 1 || len(progs[0].Accesses) != 4 {
+		t.Fatalf("parsed %+v", progs)
+	}
+	a := progs[0].Accesses
+	if a[0].Kind != sdg.Read || a[1].Kind != sdg.Write || a[2].Kind != sdg.PredRead {
+		t.Fatalf("kinds = %v %v %v", a[0].Kind, a[1].Kind, a[2].Kind)
+	}
+	if !a[3].Fixed {
+		t.Fatal("fixed flag lost")
+	}
+
+	// Bad kind rejected.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"programs":[{"name":"P","accesses":[{"table":"T","kind":"zz"}]}]}`), 0o644)
+	if _, err := parseMix(bad); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	// Bad JSON rejected; missing file rejected.
+	os.WriteFile(bad, []byte(`{`), 0o644)
+	if _, err := parseMix(bad); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := parseMix(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseTechnique(t *testing.T) {
+	cases := map[string]sdg.Technique{
+		"materialize": sdg.Materialize,
+		"promote-upd": sdg.PromoteUpdate,
+		"promote-sfu": sdg.PromoteSFU,
+	}
+	for s, want := range cases {
+		got, err := parseTechnique(s)
+		if err != nil || got != want {
+			t.Fatalf("parseTechnique(%s) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseTechnique("nope"); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+func TestApplyFix(t *testing.T) {
+	base := smallbank.BasePrograms()
+	progs, err := applyFix(base, "WC->TS:promote-upd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sdg.New(progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSafe() {
+		t.Fatal("fix did not repair the mix")
+	}
+
+	progs2, err := applyFix(base, "all:materialize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sdg.New(progs2...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.VulnerableEdges()) != 0 {
+		t.Fatal("all:materialize left vulnerable edges")
+	}
+
+	for _, bad := range []string{"nocolon", "X->Y:materialize", "WC->TS:zz", "junk:materialize"} {
+		if _, err := applyFix(base, bad); err == nil {
+			t.Fatalf("bad fix %q accepted", bad)
+		}
+	}
+}
+
+func TestRunAdviseSmoke(t *testing.T) {
+	if err := runAdvise(smallbank.BasePrograms(), "postgres", 20, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAdvise(smallbank.BasePrograms(), "commercial", 20, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAdvise(smallbank.BasePrograms(), "martian", 20, 1000); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Command sisql is an interactive SQL shell over the sicost engine with
+// the SmallBank database pre-loaded: useful for poking at snapshot
+// isolation by hand (open two terminals, BEGIN in both, and reproduce
+// the §II-C interleavings yourself — within one process, sessions are
+// numbered and switched with \1, \2, ...).
+//
+//	go run ./cmd/sisql
+//	sql> SELECT Balance FROM Checking WHERE CustomerId = 7
+//	sql> BEGIN
+//	sql> UPDATE Checking SET Balance = Balance + 100 WHERE CustomerId = 7
+//	sql> COMMIT
+//
+// Meta commands: \1..\9 switch session, \mode prints the engine mode,
+// \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+	"sicost/internal/smallbank"
+	"sicost/internal/sqlmini"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "si", "concurrency control: si, 2pl or ssi")
+		platform  = flag.String("platform", "postgres", "platform: postgres or commercial")
+		customers = flag.Int("customers", 100, "SmallBank customers to load")
+	)
+	flag.Parse()
+
+	cfg := engine.Config{Mode: core.SnapshotFUW, Platform: core.PlatformPostgres}
+	switch *mode {
+	case "si":
+	case "2pl":
+		cfg.Mode = core.Strict2PL
+	case "ssi":
+		cfg.Mode = core.SerializableSI
+	default:
+		fmt.Fprintf(os.Stderr, "sisql: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *platform == "commercial" {
+		cfg.Platform = core.PlatformCommercial
+	}
+
+	db := engine.Open(cfg)
+	defer db.Close()
+	if err := smallbank.CreateSchema(db); err != nil {
+		fmt.Fprintln(os.Stderr, "sisql:", err)
+		os.Exit(1)
+	}
+	if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: *customers, Seed: 1}); err != nil {
+		fmt.Fprintln(os.Stderr, "sisql:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sicost SQL shell — %s/%s, SmallBank with %d customers (names %q..)\n",
+		cfg.Mode, cfg.Platform, *customers, smallbank.CustomerName(0))
+	fmt.Println(`dialect: SELECT/UPDATE/INSERT/DELETE with "WHERE col = value", BEGIN/COMMIT/ROLLBACK; \q quits`)
+
+	sessions := map[int]*sqlmini.Session{1: sqlmini.NewSession(db)}
+	cur := 1
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("sql[%d]> ", cur)
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, `\`) {
+			switch {
+			case line == `\q`:
+				return
+			case line == `\mode`:
+				fmt.Printf("%s on %s\n", cfg.Mode, cfg.Platform)
+			case len(line) == 2 && line[1] >= '1' && line[1] <= '9':
+				cur = int(line[1] - '0')
+				if sessions[cur] == nil {
+					sessions[cur] = sqlmini.NewSession(db)
+					fmt.Printf("(new session %d)\n", cur)
+				}
+			default:
+				fmt.Println(`meta commands: \1..\9 sessions, \mode, \q`)
+			}
+			continue
+		}
+		if err := run(sessions[cur], line); err != nil {
+			fmt.Println("error:", err)
+			if core.IsRetriable(err) {
+				fmt.Println("(serialization failure: the transaction is aborted; ROLLBACK and retry)")
+			}
+		}
+	}
+}
+
+func run(sess *sqlmini.Session, line string) error {
+	switch strings.ToUpper(strings.TrimSuffix(line, ";")) {
+	case "BEGIN":
+		if err := sess.Begin(); err != nil {
+			return err
+		}
+		fmt.Println("BEGIN")
+		return nil
+	case "COMMIT":
+		if err := sess.Commit(); err != nil {
+			return err
+		}
+		fmt.Println("COMMIT")
+		return nil
+	case "ROLLBACK":
+		sess.Rollback()
+		fmt.Println("ROLLBACK")
+		return nil
+	}
+	stmt, err := sqlmini.Parse(line)
+	if err != nil {
+		return err
+	}
+	if stmt.Kind == sqlmini.StmtSelect {
+		rows, err := sess.Query(stmt, nil)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d row)\n", len(rows))
+		return nil
+	}
+	n, err := sess.Exec(stmt, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("OK (%d row)\n", n)
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command smallbank runs one SmallBank workload configuration and prints
+// the full statistics breakdown: throughput, per-type commits, aborts by
+// reason, response-time distribution, WAL activity and (optionally) a
+// runtime serializability verdict.
+//
+// Examples:
+//
+//	smallbank -strategy SI -mpl 20
+//	smallbank -strategy MaterializeBW -mpl 20 -hotspot 10 -balmix 0.6
+//	smallbank -strategy PromoteWT-sfu -platform commercial -mpl 25
+//	smallbank -strategy SI -check          # attach the MVSG checker
+//	smallbank -strategies                  # list strategies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sicost/internal/checker"
+	"sicost/internal/core"
+	"sicost/internal/engine"
+	"sicost/internal/experiments"
+	"sicost/internal/smallbank"
+	"sicost/internal/workload"
+)
+
+func main() {
+	var (
+		strategyName = flag.String("strategy", "SI", "strategy name (see -strategies)")
+		listStrats   = flag.Bool("strategies", false, "list strategies and exit")
+		platform     = flag.String("platform", "postgres", "platform profile: postgres or commercial")
+		mode         = flag.String("mode", "si", "concurrency control: si, 2pl or ssi")
+		mpl          = flag.Int("mpl", 20, "multiprogramming level")
+		customers    = flag.Int("customers", 18000, "customers loaded")
+		hotspot      = flag.Int("hotspot", 1000, "hotspot size")
+		hotProb      = flag.Float64("hotprob", 0.9, "fraction of transactions on the hotspot")
+		balMix       = flag.Float64("balmix", 0, "Balance fraction (0 = uniform mix)")
+		ramp         = flag.Duration("ramp", 500*time.Millisecond, "ramp-up")
+		measure      = flag.Duration("measure", 2*time.Second, "measurement interval")
+		scale        = flag.Float64("scale", 1.0, "simulated-hardware time scale")
+		seed         = flag.Int64("seed", 1, "random seed")
+		check        = flag.Bool("check", false, "attach the MVSG serializability checker")
+	)
+	flag.Parse()
+
+	if *listStrats {
+		for _, s := range smallbank.Strategies() {
+			sound := "sound on both platforms"
+			switch {
+			case s.Name == "SI":
+				sound = "no serializability guarantee"
+			case !s.SoundOn(core.PlatformPostgres):
+				sound = "sound on commercial only"
+			}
+			fmt.Printf("%-22s %s\n", s.Name, sound)
+		}
+		return
+	}
+
+	strategy, err := smallbank.ByName(*strategyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smallbank:", err)
+		os.Exit(2)
+	}
+
+	var engCfg engine.Config
+	switch *platform {
+	case "postgres":
+		engCfg = experiments.PostgresDB(*scale)
+	case "commercial":
+		engCfg = experiments.CommercialDB(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "smallbank: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	switch *mode {
+	case "si":
+	case "2pl":
+		engCfg.Mode = core.Strict2PL
+	case "ssi":
+		engCfg.Mode = core.SerializableSI
+	default:
+		fmt.Fprintf(os.Stderr, "smallbank: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if !strategy.SoundOn(engCfg.Platform) && strategy.GuaranteesSerializable() {
+		fmt.Fprintf(os.Stderr, "warning: %s is NOT sound on %s (§II-C)\n", strategy.Name, engCfg.Platform)
+	}
+
+	// Load on free hardware, then install the measured profile.
+	measured := engCfg.Res
+	engCfg.Res.VirtualCPUs = 0
+	db := engine.Open(engCfg)
+	defer db.Close()
+	if err := smallbank.CreateSchema(db); err != nil {
+		fmt.Fprintln(os.Stderr, "smallbank:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loading %d customers...\n", *customers)
+	if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: *customers, Seed: *seed}); err != nil {
+		fmt.Fprintln(os.Stderr, "smallbank:", err)
+		os.Exit(1)
+	}
+	db.SetResources(measured)
+
+	var chk *checker.Checker
+	if *check {
+		chk = checker.New()
+		db.SetObserver(chk)
+	}
+
+	mix := workload.UniformMix()
+	if *balMix > 0 {
+		mix = workload.BalanceHeavyMix(*balMix)
+	}
+	fmt.Fprintf(os.Stderr, "running %s on %s/%s: MPL %d, hotspot %d/%d, %v+%v...\n",
+		strategy.Name, *platform, *mode, *mpl, *hotspot, *customers, *ramp, *measure)
+
+	res, err := workload.Run(db, workload.Config{
+		Strategy: strategy, MPL: *mpl, Customers: *customers,
+		HotspotSize: *hotspot, HotspotProb: *hotProb, Mix: mix,
+		Ramp: *ramp, Measure: *measure, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smallbank:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("throughput: %.1f TPS (%d commits, %d aborts in %v)\n",
+		res.TPS, res.Commits, res.Aborts, res.Measured)
+	fmt.Printf("mean response time: %v\n\n", res.MeanLatency.Round(time.Microsecond))
+	fmt.Printf("%-18s %10s %10s %10s %10s %12s %10s\n",
+		"type", "commits", "serial", "deadlock", "app", "abort-rate", "p95")
+	for t := 0; t < smallbank.NumTxnTypes; t++ {
+		st := &res.PerType[t]
+		fmt.Printf("%-18s %10d %10d %10d %10d %11.2f%% %10v\n",
+			smallbank.TxnType(t).String(), st.Commits,
+			st.Aborts[core.AbortSerialization], st.Aborts[core.AbortDeadlock],
+			st.Aborts[core.AbortApplication],
+			100*st.SerializationAbortRate(),
+			st.Latency.Quantile(0.95).Round(time.Microsecond))
+	}
+	ws := db.WAL().Stats()
+	fmt.Printf("\nWAL: %d flushes, %d records (avg batch %.1f), %d bytes\n",
+		ws.Flushes, ws.Records, ws.AvgBatch(), ws.Bytes)
+
+	if chk != nil {
+		rep := chk.Analyze()
+		fmt.Printf("\nserializability: %s", rep.Describe())
+	}
+}

@@ -1,0 +1,3 @@
+module sicost
+
+go 1.22

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the transaction engine. Application code (the
+// SmallBank programs, the workload driver) distinguishes retriable
+// concurrency failures (serialization, deadlock) from semantic rollbacks
+// and hard errors.
+var (
+	// ErrSerialization is the engine's "could not serialize access"
+	// failure: under First-Updater-Wins SI the transaction attempted to
+	// write (or select-for-update) a row already updated by a concurrent
+	// committed transaction, or SSI aborted a dangerous pivot. It is
+	// always safe to retry the whole transaction.
+	ErrSerialization = errors.New("engine: could not serialize access due to concurrent update")
+
+	// ErrDeadlock is raised when the lock manager chooses the requesting
+	// transaction as a deadlock victim. Retriable.
+	ErrDeadlock = errors.New("engine: deadlock detected")
+
+	// ErrNotFound is returned by point reads that match no visible row.
+	ErrNotFound = errors.New("engine: row not found")
+
+	// ErrUniqueViolation is returned when an insert or update would
+	// duplicate a unique-constrained value.
+	ErrUniqueViolation = errors.New("engine: unique constraint violation")
+
+	// ErrTxDone is returned on any use of a committed or aborted
+	// transaction handle.
+	ErrTxDone = errors.New("engine: transaction already finished")
+
+	// ErrRollback signals an application-initiated rollback (for example
+	// a negative deposit amount in DepositChecking). It is not retriable:
+	// the transaction's semantics rejected its inputs.
+	ErrRollback = errors.New("engine: transaction rolled back by application")
+
+	// ErrWALClosed is returned when a commit races the shutdown of the
+	// simulated log device.
+	ErrWALClosed = errors.New("wal: log device closed")
+
+	// ErrInjected is the base error used by failure-injection tests.
+	ErrInjected = errors.New("engine: injected fault")
+)
+
+// IsRetriable reports whether err indicates a transient concurrency
+// failure for which the standard SI discipline is "abort and rerun the
+// whole transaction".
+func IsRetriable(err error) bool {
+	return errors.Is(err, ErrSerialization) || errors.Is(err, ErrDeadlock)
+}
+
+// AbortReason classifies why a transaction attempt did not commit; the
+// workload driver aggregates these per transaction type (Figure 6 of the
+// paper counts the ErrSerialization class).
+type AbortReason uint8
+
+// Abort reason classes.
+const (
+	AbortNone AbortReason = iota
+	AbortSerialization
+	AbortDeadlock
+	AbortApplication
+	AbortOther
+)
+
+// String names the abort class.
+func (a AbortReason) String() string {
+	switch a {
+	case AbortNone:
+		return "none"
+	case AbortSerialization:
+		return "serialization"
+	case AbortDeadlock:
+		return "deadlock"
+	case AbortApplication:
+		return "application"
+	case AbortOther:
+		return "other"
+	default:
+		return fmt.Sprintf("abort(%d)", uint8(a))
+	}
+}
+
+// ClassifyAbort maps an error from a transaction attempt to its class.
+func ClassifyAbort(err error) AbortReason {
+	switch {
+	case err == nil:
+		return AbortNone
+	case errors.Is(err, ErrSerialization):
+		return AbortSerialization
+	case errors.Is(err, ErrDeadlock):
+		return AbortDeadlock
+	case errors.Is(err, ErrRollback):
+		return AbortApplication
+	default:
+		return AbortOther
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind Kind
+	// NotNull enforces a non-null constraint on writes.
+	NotNull bool
+}
+
+// Schema describes a table: its columns, which column is the primary key,
+// and which columns carry a declared unique constraint (enforced through a
+// unique secondary index, like SmallBank's Account.CustomerID).
+type Schema struct {
+	Name    string
+	Columns []Column
+	// PK is the index into Columns of the primary-key column.
+	PK int
+	// Unique lists additional column positions with unique constraints.
+	Unique []int
+}
+
+// Col returns the position of the named column, or -1 when absent.
+func (s *Schema) Col(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural sanity of the schema definition itself.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("core: schema with empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("core: table %s has no columns", s.Name)
+	}
+	if s.PK < 0 || s.PK >= len(s.Columns) {
+		return fmt.Errorf("core: table %s primary key position %d out of range", s.Name, s.PK)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("core: table %s has an unnamed column", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("core: table %s duplicates column %s", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, u := range s.Unique {
+		if u < 0 || u >= len(s.Columns) {
+			return fmt.Errorf("core: table %s unique constraint position %d out of range", s.Name, u)
+		}
+		if u == s.PK {
+			return fmt.Errorf("core: table %s declares the primary key column as an extra unique constraint", s.Name)
+		}
+	}
+	return nil
+}
+
+// CheckRecord verifies a record against the schema (arity, kinds,
+// non-null constraints). The primary key must be non-null regardless of
+// the column's NotNull flag.
+func (s *Schema) CheckRecord(r Record) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("core: table %s expects %d columns, record has %d", s.Name, len(s.Columns), len(r))
+	}
+	for i, v := range r {
+		c := s.Columns[i]
+		if v.IsNull() {
+			if c.NotNull || i == s.PK {
+				return fmt.Errorf("core: table %s column %s must not be NULL", s.Name, c.Name)
+			}
+			continue
+		}
+		if v.K != c.Kind {
+			return fmt.Errorf("core: table %s column %s expects %s, got %s", s.Name, c.Name, c.Kind, v.K)
+		}
+	}
+	return nil
+}
+
+// Key extracts the primary-key value of a record under this schema.
+func (s *Schema) Key(r Record) Value { return r[s.PK] }

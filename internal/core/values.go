@@ -1,0 +1,140 @@
+// Package core defines the shared vocabulary of the sicost system: typed
+// column values, records, schemas, concurrency-control modes, platform
+// identifiers and the error taxonomy used across the storage engine, the
+// benchmark programs and the workload driver.
+//
+// Everything here is deliberately small and allocation-friendly: records
+// are short slices of Value, and Value is a comparable struct so it can be
+// used directly as a map key (primary keys, lock-table keys).
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the dynamic type stored in a Value.
+type Kind uint8
+
+// The value kinds supported by the engine. The SmallBank schema only needs
+// integers (balances in cents, customer ids) and strings (customer names),
+// which matches the paper's schema of numeric balances and name keys.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindString
+)
+
+// String returns the kind name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single typed column value. The zero Value is NULL.
+//
+// Value is comparable (no pointers, slices or maps), so it can serve as a
+// primary-key map key and as a lock-table key without boxing.
+type Value struct {
+	K Kind
+	I int64
+	S string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int wraps an int64 as a Value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// String wraps a string as a Value.
+func Str(s string) Value { return Value{K: KindString, S: s} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Int64 returns the integer payload; it is 0 for non-integer values.
+func (v Value) Int64() int64 { return v.I }
+
+// Text returns the string payload; it is "" for non-string values.
+func (v Value) Text() string { return v.S }
+
+// String renders the value for logs and test failures.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindString:
+		return strconv.Quote(v.S)
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.K))
+	}
+}
+
+// Less orders values of the same kind; NULL sorts first, and values of
+// different kinds order by kind. It provides a total order for index scans
+// and deterministic test output.
+func (v Value) Less(o Value) bool {
+	if v.K != o.K {
+		return v.K < o.K
+	}
+	switch v.K {
+	case KindInt:
+		return v.I < o.I
+	case KindString:
+		return v.S < o.S
+	default:
+		return false
+	}
+}
+
+// Record is one row image: a slice of column values positioned by the
+// table schema. Records are copied on write; readers must treat them as
+// immutable.
+type Record []Value
+
+// Clone returns a deep copy of the record (Value itself is a value type,
+// so a slice copy suffices).
+func (r Record) Clone() Record {
+	if r == nil {
+		return nil
+	}
+	out := make(Record, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports whether two records have identical length and values.
+func (r Record) Equal(o Record) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the record for diagnostics.
+func (r Record) String() string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}

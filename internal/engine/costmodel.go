@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"time"
+
+	"sicost/internal/core"
+)
+
+// CostModel holds the per-platform execution-cost penalties of the three
+// program-modification techniques. The paper observes, without a
+// mechanistic explanation for PostgreSQL (§IV-D), that materialization is
+// slower than promotion on PostgreSQL while the commercial platform shows
+// the reverse (§IV-F, guideline 4 of §IV-G). We model these measured
+// differences as explicit per-statement penalties charged by the modified
+// programs; they are knobs of the platform profile, not emergent
+// behaviour, and DESIGN.md documents them as such.
+type CostModel struct {
+	// MaterializeWrite is the extra cost of the UPDATE on the dedicated
+	// Conflict table (round trip, extra table's buffer/index path).
+	MaterializeWrite time.Duration
+	// PromoteUpdate is the extra cost of an identity update (col = col)
+	// on a base table beyond a normal statement.
+	PromoteUpdate time.Duration
+	// SelectForUpdate is the extra cost of upgrading a SELECT into
+	// SELECT ... FOR UPDATE.
+	SelectForUpdate time.Duration
+}
+
+// DefaultCostModel returns the platform profile used by the experiments.
+// The magnitudes are calibrated (see EXPERIMENTS.md) so that the measured
+// relative-throughput curves land in the bands the paper reports; the
+// *signs* of the differences are the paper's own findings.
+func DefaultCostModel(p core.Platform) CostModel {
+	switch p {
+	case core.PlatformCommercial:
+		return CostModel{
+			MaterializeWrite: 25 * time.Microsecond,
+			PromoteUpdate:    200 * time.Microsecond,
+			SelectForUpdate:  10 * time.Microsecond,
+		}
+	default: // PlatformPostgres
+		return CostModel{
+			MaterializeWrite: 110 * time.Microsecond,
+			PromoteUpdate:    0,
+			SelectForUpdate:  15 * time.Microsecond,
+		}
+	}
+}
+
+// Scaled multiplies all penalties by f, matching simres.Config.Scaled.
+func (c CostModel) Scaled(f float64) CostModel {
+	s := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	return CostModel{
+		MaterializeWrite: s(c.MaterializeWrite),
+		PromoteUpdate:    s(c.PromoteUpdate),
+		SelectForUpdate:  s(c.SelectForUpdate),
+	}
+}

@@ -1,0 +1,227 @@
+// Package engine implements the transactional database engines the paper
+// evaluates on: snapshot isolation with the First-Updater-Wins rule (the
+// PostgreSQL platform), the commercial platform's SI variant (where
+// SELECT ... FOR UPDATE participates in write-conflict detection), strict
+// two-phase locking, and — as a forward-looking extension — serializable
+// SI (runtime rw-antidependency detection).
+//
+// The engine is an in-memory multiversion system over internal/storage.
+// Simulated hardware costs (CPU service time, WAL fsyncs with group
+// commit) are charged at the points where the real systems pay them, so
+// the workload driver reproduces the paper's throughput shapes.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sicost/internal/core"
+	"sicost/internal/simres"
+	"sicost/internal/storage"
+	"sicost/internal/wal"
+)
+
+// Config assembles one database instance.
+type Config struct {
+	// Mode selects the concurrency-control algorithm.
+	Mode core.CCMode
+	// Platform selects behavioural details (select-for-update semantics,
+	// cost model defaults) for SI modes.
+	Platform core.Platform
+	// Res parameterizes the simulated machine; zero disables the model.
+	Res simres.Config
+	// WAL parameterizes the simulated log device; zero disables it.
+	WAL wal.Config
+	// Cost overrides the per-strategy statement penalties; when zero,
+	// platform defaults apply (see DefaultCostModel).
+	Cost *CostModel
+}
+
+// VersionRef identifies a version a transaction read or wrote, for the
+// serializability checker.
+type VersionRef struct {
+	Table string
+	Key   core.Value
+	// CSN is the commit sequence number of the version read (for reads)
+	// or created (for writes; filled at commit).
+	CSN uint64
+}
+
+// TxInfo is the post-commit summary handed to the Observer.
+type TxInfo struct {
+	ID        uint64
+	StartCSN  uint64
+	CommitCSN uint64
+	ReadOnly  bool
+	// Tag is application-provided (the SmallBank driver stores the
+	// transaction type) for anomaly reports.
+	Tag string
+	// Reads lists versions read (excluding reads of the txn's own
+	// writes). Writes lists versions created.
+	Reads  []VersionRef
+	Writes []VersionRef
+	// SFU lists rows select-for-updated (commercial platform semantics
+	// make these behave like writes for concurrency control).
+	SFU []VersionRef
+}
+
+// Observer receives every commit, in commit order for updating
+// transactions. The serializability checker implements it.
+type Observer interface {
+	OnCommit(TxInfo)
+}
+
+// DB is one simulated database instance.
+type DB struct {
+	cfg     Config
+	cost    CostModel
+	store   *storage.Store
+	locks   *storage.LockTable
+	log     *wal.WAL
+	machine *simres.Machine
+
+	// commitMu orders updating commits; commitSeq is the global commit
+	// sequence number (CSN). Begin takes a read lock so a snapshot never
+	// observes a half-stamped commit.
+	commitMu  sync.RWMutex
+	commitSeq uint64
+
+	nextTxID atomic.Uint64
+
+	obsMu    sync.Mutex
+	observer Observer
+
+	ssi *ssiState
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// Open creates a database instance from cfg.
+func Open(cfg Config) *DB {
+	cost := DefaultCostModel(cfg.Platform)
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	db := &DB{
+		cfg:     cfg,
+		cost:    cost,
+		store:   storage.NewStore(),
+		locks:   storage.NewLockTable(),
+		log:     wal.New(cfg.WAL),
+		machine: simres.New(cfg.Res),
+	}
+	if cfg.Mode == core.SerializableSI {
+		db.ssi = newSSIState()
+	}
+	return db
+}
+
+// Close shuts the simulated log device down.
+func (db *DB) Close() { db.log.Close() }
+
+// CreateTable declares a table.
+func (db *DB) CreateTable(schema *core.Schema) error {
+	_, err := db.store.CreateTable(schema)
+	return err
+}
+
+// Mode returns the configured concurrency-control mode.
+func (db *DB) Mode() core.CCMode { return db.cfg.Mode }
+
+// Platform returns the configured platform profile.
+func (db *DB) Platform() core.Platform { return db.cfg.Platform }
+
+// Cost returns the active strategy cost model.
+func (db *DB) Cost() CostModel { return db.cost }
+
+// Machine exposes the simulated hardware (the workload driver registers
+// its sessions on it).
+func (db *DB) Machine() *simres.Machine { return db.machine }
+
+// SetResources replaces the simulated hardware. The experiment harness
+// loads the database on a free machine and installs the measured
+// resource model afterwards; it must not be called while transactions
+// are in flight.
+func (db *DB) SetResources(cfg simres.Config) { db.machine = simres.New(cfg) }
+
+// WAL exposes the simulated log device for stats and fault injection.
+func (db *DB) WAL() *wal.WAL { return db.log }
+
+// SetObserver installs the commit observer (nil disables).
+func (db *DB) SetObserver(o Observer) {
+	db.obsMu.Lock()
+	db.observer = o
+	db.obsMu.Unlock()
+}
+
+// CommitSeq returns the current global commit sequence number.
+func (db *DB) CommitSeq() uint64 {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	return db.commitSeq
+}
+
+// Stats returns cumulative commit and abort counts.
+func (db *DB) Stats() (commits, aborts uint64) {
+	return db.commits.Load(), db.aborts.Load()
+}
+
+// Begin starts a transaction. The returned Tx must be finished with
+// Commit or Abort; it is not safe for concurrent use by multiple
+// goroutines (like a SQL session).
+func (db *DB) Begin() *Tx {
+	// Per-transaction base CPU (parse, plan, session round trip), plus
+	// the commercial platform's per-session overhead at the current MPL.
+	// Charged before the snapshot is taken, as in the real systems where
+	// it precedes the first data access.
+	db.machine.UseCPU(db.machine.TxnCost(0))
+
+	db.commitMu.RLock()
+	start := db.commitSeq
+	db.commitMu.RUnlock()
+
+	tx := &Tx{
+		db:    db,
+		id:    db.nextTxID.Add(1),
+		start: start,
+	}
+	if db.ssi != nil {
+		db.ssi.begin(tx)
+	}
+	return tx
+}
+
+// ScanLatest iterates the newest committed record of every row of the
+// named table, in key order. It bypasses transactions and is intended
+// for loaders, invariant verification and tests.
+func (db *DB) ScanLatest(table string, fn func(key core.Value, rec core.Record) bool) error {
+	t, err := db.store.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, k := range t.Keys() {
+		row := t.Row(k)
+		if row == nil {
+			continue
+		}
+		v := row.NewestCommitted()
+		if v == nil || v.Rec == nil {
+			continue
+		}
+		if !fn(k, v.Rec) {
+			break
+		}
+	}
+	return nil
+}
+
+// notifyCommit delivers the commit record to the observer if installed.
+func (db *DB) notifyCommit(info TxInfo) {
+	db.obsMu.Lock()
+	o := db.observer
+	db.obsMu.Unlock()
+	if o != nil {
+		o.OnCommit(info)
+	}
+}

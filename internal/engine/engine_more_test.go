@@ -1,0 +1,324 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+	"sicost/internal/wal"
+)
+
+// walConfigForTest returns a fast-but-real log device config.
+func walConfigForTest() wal.Config {
+	return wal.Config{FsyncLatency: 2 * time.Millisecond}
+}
+
+func TestGetByIndex(t *testing.T) {
+	db := Open(Config{Mode: core.SnapshotFUW, Platform: core.PlatformPostgres})
+	defer db.Close()
+	schema := &core.Schema{
+		Name: "Account",
+		Columns: []core.Column{
+			{Name: "Name", Kind: core.KindString, NotNull: true},
+			{Name: "CustomerID", Kind: core.KindInt, NotNull: true},
+		},
+		PK:     0,
+		Unique: []int{1},
+	}
+	if err := db.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert("Account", core.Record{core.Str("alice"), core.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := db.Begin()
+	rec, err := rd.GetByIndex("Account", "CustomerID", core.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[0] != core.Str("alice") {
+		t.Fatalf("record = %v", rec)
+	}
+	if _, err := rd.GetByIndex("Account", "CustomerID", core.Int(404)); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("missing index value: %v", err)
+	}
+	if _, err := rd.GetByIndex("Account", "Name", core.Str("alice")); err == nil {
+		t.Fatal("lookup by non-indexed column accepted")
+	}
+	rd.Abort()
+
+	// Duplicate unique value must be rejected.
+	dup := db.Begin()
+	err = dup.Insert("Account", core.Record{core.Str("bob"), core.Int(7)})
+	if !errors.Is(err, core.ErrUniqueViolation) {
+		t.Fatalf("duplicate CustomerID: %v", err)
+	}
+	dup.Abort()
+}
+
+func TestTwoPLReadersBlockWriters(t *testing.T) {
+	db := openKV(t, core.Strict2PL, core.PlatformPostgres)
+
+	reader := db.Begin()
+	_ = mustGetV(t, reader, 1) // S lock held
+
+	writer := db.Begin()
+	errc := make(chan error, 1)
+	go func() { errc <- writer.Update("T", core.Int(1), kv(1, 5)) }()
+	select {
+	case err := <-errc:
+		t.Fatalf("writer did not block behind reader: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPLReadsLatestCommitted(t *testing.T) {
+	db := openKV(t, core.Strict2PL, core.PlatformPostgres)
+
+	t1 := db.Begin()
+	mustSetV(t, t1, 1, 111)
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A transaction that began before t1 committed still reads the
+	// latest committed value under 2PL (no snapshot semantics). We open
+	// it after commit here because blocking semantics are covered above;
+	// the point is the read path returns the newest committed version.
+	t2 := db.Begin()
+	if got := mustGetV(t, t2, 1); got != 111 {
+		t.Fatalf("2PL read = %d", got)
+	}
+	t2.Abort()
+}
+
+func TestSSIReadOnlyNotDisturbedWhenSerializable(t *testing.T) {
+	// A plain read-only transaction with no dangerous structure must
+	// commit fine under SSI.
+	db := openKV(t, core.SerializableSI, core.PlatformPostgres)
+	tx := db.Begin()
+	_ = mustGetV(t, tx, 1)
+	_ = mustGetV(t, tx, 2)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSISequentialUpdatesAllowed(t *testing.T) {
+	// Non-overlapping transactions never conflict under SSI.
+	db := openKV(t, core.SerializableSI, core.PlatformPostgres)
+	for i := int64(0); i < 5; i++ {
+		tx := db.Begin()
+		v := mustGetV(t, tx, 1)
+		mustSetV(t, tx, 1, v+1)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	chk := db.Begin()
+	if got := mustGetV(t, chk, 1); got != 105 {
+		t.Fatalf("value = %d", got)
+	}
+	chk.Abort()
+}
+
+// TestMoneyConservationUnderConcurrency is the core integration property:
+// concurrent random transfers with retries must conserve the total
+// balance under every concurrency-control mode.
+func TestMoneyConservationUnderConcurrency(t *testing.T) {
+	modes := []core.CCMode{core.SnapshotFUW, core.Strict2PL, core.SerializableSI}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			db := Open(Config{Mode: mode, Platform: core.PlatformPostgres})
+			defer db.Close()
+			if err := db.CreateTable(kvSchema("T")); err != nil {
+				t.Fatal(err)
+			}
+			const rows, perRow = 8, 1000
+			seed := db.Begin()
+			for k := int64(0); k < rows; k++ {
+				if err := seed.Insert("T", kv(k, perRow)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := seed.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			const workers, transfers = 8, 60
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < transfers; i++ {
+						from := rng.Int63n(rows)
+						to := (from + 1 + rng.Int63n(rows-1)) % rows
+						amt := rng.Int63n(20) + 1
+						for attempt := 0; attempt < 200; attempt++ {
+							if transferOnce(db, from, to, amt) {
+								break
+							}
+						}
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+
+			var total int64
+			if err := db.ScanLatest("T", func(_ core.Value, rec core.Record) bool {
+				total += rec[1].Int64()
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if total != rows*perRow {
+				t.Fatalf("money not conserved: total = %d, want %d", total, rows*perRow)
+			}
+		})
+	}
+}
+
+// transferOnce attempts one transfer; reports whether it completed
+// (committed or legitimately skipped). Retriable failures return false.
+func transferOnce(db *DB, from, to, amt int64) bool {
+	tx := db.Begin()
+	a, err := tx.Get("T", core.Int(from))
+	if err != nil {
+		tx.Abort()
+		return !core.IsRetriable(err)
+	}
+	b, err := tx.Get("T", core.Int(to))
+	if err != nil {
+		tx.Abort()
+		return !core.IsRetriable(err)
+	}
+	if a[1].Int64() < amt {
+		tx.Abort()
+		return true
+	}
+	if err := tx.Update("T", core.Int(from), kv(from, a[1].Int64()-amt)); err != nil {
+		tx.Abort()
+		return !core.IsRetriable(err)
+	}
+	if err := tx.Update("T", core.Int(to), kv(to, b[1].Int64()+amt)); err != nil {
+		tx.Abort()
+		return !core.IsRetriable(err)
+	}
+	return tx.Commit() == nil
+}
+
+func TestConcurrentIncrementsNeverLost(t *testing.T) {
+	// N workers × M increments with retry; the final value must be
+	// exactly N*M under SI (lost updates impossible).
+	db := openKV(t, core.SnapshotFUW, core.PlatformPostgres)
+	const workers, increments = 6, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				for {
+					tx := db.Begin()
+					v := mustGetVQuiet(tx, 1)
+					if v < 0 {
+						tx.Abort()
+						continue
+					}
+					if err := tx.Update("T", core.Int(1), kv(1, v+1)); err != nil {
+						tx.Abort()
+						continue
+					}
+					if tx.Commit() == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	chk := db.Begin()
+	got := mustGetV(t, chk, 1)
+	chk.Abort()
+	if got != 100+workers*increments {
+		t.Fatalf("final = %d, want %d", got, 100+workers*increments)
+	}
+}
+
+// mustGetVQuiet is mustGetV without the testing.T (for retry loops).
+// Returns -1 on error.
+func mustGetVQuiet(tx *Tx, k int64) int64 {
+	rec, err := tx.Get("T", core.Int(k))
+	if err != nil {
+		return -1
+	}
+	return rec[1].Int64()
+}
+
+func TestDefaultCostModels(t *testing.T) {
+	pg := DefaultCostModel(core.PlatformPostgres)
+	cm := DefaultCostModel(core.PlatformCommercial)
+	// The paper's guideline 4: promotion faster than materialization on
+	// PostgreSQL, the reverse on the commercial platform.
+	if pg.PromoteUpdate >= pg.MaterializeWrite {
+		t.Fatal("postgres cost model must favour promotion")
+	}
+	if cm.MaterializeWrite >= cm.PromoteUpdate {
+		t.Fatal("commercial cost model must favour materialization")
+	}
+	s := pg.Scaled(2)
+	if s.MaterializeWrite != 2*pg.MaterializeWrite || s.SelectForUpdate != 2*pg.SelectForUpdate {
+		t.Fatal("Scaled broken")
+	}
+}
+
+func TestConfigCostOverride(t *testing.T) {
+	custom := CostModel{MaterializeWrite: time.Second}
+	db := Open(Config{Mode: core.SnapshotFUW, Cost: &custom})
+	defer db.Close()
+	if db.Cost().MaterializeWrite != time.Second {
+		t.Fatal("cost override ignored")
+	}
+}
+
+func TestCommitSeqMonotonic(t *testing.T) {
+	db := openKV(t, core.SnapshotFUW, core.PlatformPostgres)
+	before := db.CommitSeq()
+	tx := db.Begin()
+	mustSetV(t, tx, 1, 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.CommitSeq(); after != before+1 {
+		t.Fatalf("CommitSeq %d -> %d", before, after)
+	}
+	// Read-only commits do not advance the sequence.
+	ro := db.Begin()
+	_ = mustGetV(t, ro, 1)
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.CommitSeq() != before+1 {
+		t.Fatal("read-only commit advanced CommitSeq")
+	}
+}

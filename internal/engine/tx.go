@@ -1,0 +1,517 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"sicost/internal/core"
+	"sicost/internal/storage"
+)
+
+// logBytesPerWrite approximates the WAL payload of one row update (tuple
+// image plus header); it only feeds the simulated device's byte counter.
+const logBytesPerWrite = 120
+
+// writeRec tracks one row write of a transaction.
+type writeRec struct {
+	table *storage.Table
+	key   core.Value
+	row   *storage.Row
+	ver   *storage.Version
+}
+
+// sfuRec tracks one select-for-update target.
+type sfuRec struct {
+	table *storage.Table
+	key   core.Value
+	row   *storage.Row
+}
+
+// Tx is one transaction. It is a session-like handle: use from a single
+// goroutine, finish with Commit or Abort exactly once (Abort after a
+// failed Commit is a no-op).
+type Tx struct {
+	db    *DB
+	id    uint64
+	start uint64
+	tag   string
+	done  bool
+
+	writes []writeRec
+	sfus   []sfuRec
+	reads  []VersionRef
+
+	// failedErr is set after a serialization failure or deadlock; like
+	// PostgreSQL's "current transaction is aborted" state, every later
+	// statement returns it and Commit rolls back instead.
+	failedErr error
+
+	nStmts int
+
+	ssi *ssiTxn // nil unless SerializableSI
+}
+
+// ID returns the transaction id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Cost returns the database's strategy cost model (convenience for
+// transaction programs that charge modification penalties).
+func (tx *Tx) Cost() CostModel { return tx.db.cost }
+
+// Platform returns the database's platform profile.
+func (tx *Tx) Platform() core.Platform { return tx.db.cfg.Platform }
+
+// StartCSN returns the snapshot's commit sequence number.
+func (tx *Tx) StartCSN() uint64 { return tx.start }
+
+// SetTag attaches an application label (e.g. the transaction type) that
+// is passed through to the commit observer.
+func (tx *Tx) SetTag(tag string) { tx.tag = tag }
+
+// Charge spends d of simulated CPU on behalf of this transaction, on top
+// of the per-statement costs. The SmallBank strategies use it to apply
+// the platform cost model's per-modification penalties.
+func (tx *Tx) Charge(d time.Duration) {
+	tx.db.machine.UseCPU(d)
+}
+
+// stmt charges one statement's base CPU and validates the handle.
+func (tx *Tx) stmt() error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.failedErr != nil {
+		return tx.failedErr
+	}
+	if tx.ssi != nil && tx.ssi.doomed() {
+		return tx.fail(core.ErrSerialization)
+	}
+	tx.nStmts++
+	tx.db.machine.UseCPU(tx.db.machine.Config().StmtCPU)
+	return nil
+}
+
+// fail records a concurrency failure: the transaction can only abort
+// from here on (PostgreSQL aborts the whole transaction on any error;
+// we apply that to the retriable class, which is what the benchmark's
+// retry discipline depends on).
+func (tx *Tx) fail(err error) error {
+	if core.IsRetriable(err) && tx.failedErr == nil {
+		tx.failedErr = err
+	}
+	return err
+}
+
+func (tx *Tx) table(name string) (*storage.Table, error) {
+	return tx.db.store.Table(name)
+}
+
+// Schema returns the named table's schema (catalog lookup; no
+// statement cost).
+func (tx *Tx) Schema(table string) (*core.Schema, error) {
+	tbl, err := tx.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Schema(), nil
+}
+
+// visibleVersion resolves the version this transaction reads for a row,
+// per the concurrency-control mode. Returns nil when no visible version
+// exists.
+func (tx *Tx) visibleVersion(row *storage.Row) *storage.Version {
+	if tx.db.cfg.Mode == core.Strict2PL {
+		// 2PL has no snapshots: read your own write, else the newest
+		// committed version (locking makes this safe).
+		if h := row.Head(); h != nil && h.Creator == tx.id && h.CSN() == 0 {
+			return h
+		}
+		return row.NewestCommitted()
+	}
+	return row.Visible(tx.start, tx.id)
+}
+
+// recordRead registers a read for the observer/SSI. Reads of the
+// transaction's own writes are not dependencies and are skipped.
+func (tx *Tx) recordRead(tbl *storage.Table, key core.Value, v *storage.Version) {
+	if v.Creator == tx.id && v.CSN() == 0 {
+		return
+	}
+	tx.reads = append(tx.reads, VersionRef{Table: tbl.Name(), Key: key, CSN: v.CSN()})
+}
+
+// Get returns the record stored under key in table, as visible to this
+// transaction. Under Strict2PL it first takes a shared lock.
+func (tx *Tx) Get(table string, key core.Value) (core.Record, error) {
+	if err := tx.stmt(); err != nil {
+		return nil, err
+	}
+	tbl, err := tx.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if tx.db.cfg.Mode == core.Strict2PL {
+		if err := tx.db.locks.Acquire(tx.id, storage.LockKey{Table: table, Key: key}, storage.Shared); err != nil {
+			return nil, err
+		}
+	}
+	row := tbl.Row(key)
+	if row == nil {
+		return nil, core.ErrNotFound
+	}
+	v := tx.visibleVersion(row)
+	if v == nil || v.Rec == nil {
+		return nil, core.ErrNotFound
+	}
+	if tx.ssi != nil {
+		if err := tx.db.ssi.onRead(tx, table, key, row); err != nil {
+			return nil, tx.fail(err)
+		}
+	}
+	tx.recordRead(tbl, key, v)
+	return v.Rec, nil
+}
+
+// GetByIndex resolves key through the unique secondary index on column
+// and returns the indexed record (SmallBank's Account.Name→CustomerID
+// hop is a direct PK read; this supports lookups the other way).
+func (tx *Tx) GetByIndex(table, column string, val core.Value) (core.Record, error) {
+	if err := tx.stmt(); err != nil {
+		return nil, err
+	}
+	tbl, err := tx.table(table)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range tbl.Indexes() {
+		if ix.Column() != column {
+			continue
+		}
+		snap := tx.start
+		if tx.db.cfg.Mode == core.Strict2PL {
+			snap = ^uint64(0)
+		}
+		pk, ok := ix.Lookup(snap, tx.id, val)
+		if !ok {
+			return nil, core.ErrNotFound
+		}
+		// Do not double-charge the statement cost for the inner read.
+		tx.nStmts--
+		return tx.Get(table, pk)
+	}
+	return nil, fmt.Errorf("engine: table %s has no unique index on %s", table, column)
+}
+
+// lockForWrite acquires the exclusive row lock and applies the
+// First-Updater-Wins visibility check (SI modes): after the lock is
+// granted — possibly after blocking behind a concurrent writer — the
+// newest committed version must belong to this transaction's snapshot,
+// otherwise the update targets a row concurrently updated and the
+// transaction must abort with a serialization failure.
+func (tx *Tx) lockForWrite(tbl *storage.Table, key core.Value, row *storage.Row) error {
+	if err := tx.db.locks.Acquire(tx.id, storage.LockKey{Table: tbl.Name(), Key: key}, storage.Exclusive); err != nil {
+		return tx.fail(err)
+	}
+	if tx.db.cfg.Mode == core.Strict2PL {
+		return nil // no version check: locks alone order 2PL writers
+	}
+	if nc := row.NewestCommitted(); nc != nil && nc.CSN() > tx.start {
+		return tx.fail(core.ErrSerialization)
+	}
+	if tx.db.cfg.Platform == core.PlatformCommercial && row.LastSFUCommit() > tx.start {
+		// A concurrent transaction select-for-updated this row and
+		// committed: the commercial platform treats that like a write.
+		return tx.fail(core.ErrSerialization)
+	}
+	return nil
+}
+
+// Update replaces the record under key. The record must satisfy the
+// schema and keep its primary key equal to key. Missing rows yield
+// ErrNotFound; concurrent updates yield ErrSerialization (SI modes).
+func (tx *Tx) Update(table string, key core.Value, rec core.Record) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	tbl, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Schema().CheckRecord(rec); err != nil {
+		return err
+	}
+	if tbl.Schema().Key(rec) != key {
+		return fmt.Errorf("engine: update of %s changes primary key %v to %v", table, key, tbl.Schema().Key(rec))
+	}
+	row := tbl.Row(key)
+	if row == nil {
+		return core.ErrNotFound
+	}
+	if err := tx.lockForWrite(tbl, key, row); err != nil {
+		return err
+	}
+	v := tx.visibleVersion(row)
+	if v == nil || v.Rec == nil {
+		return core.ErrNotFound
+	}
+	if tx.ssi != nil {
+		if err := tx.db.ssi.onWrite(tx, table, key); err != nil {
+			return tx.fail(err)
+		}
+	}
+	rec = rec.Clone()
+	if row.UpdateOwn(tx.id, rec) {
+		return nil // second write to the same row within this txn
+	}
+	ver := &storage.Version{Rec: rec, Creator: tx.id}
+	row.Install(ver)
+	tx.writes = append(tx.writes, writeRec{table: tbl, key: key, row: row, ver: ver})
+	return nil
+}
+
+// Insert adds a new record; it fails with ErrUniqueViolation when a live
+// row with the same primary key (or a duplicated unique column) exists.
+func (tx *Tx) Insert(table string, rec core.Record) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	tbl, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Schema().CheckRecord(rec); err != nil {
+		return err
+	}
+	key := tbl.Schema().Key(rec)
+	row := tbl.EnsureRow(key)
+	if err := tx.lockForWrite(tbl, key, row); err != nil {
+		return err
+	}
+	if v := tx.visibleVersion(row); v != nil && v.Rec != nil {
+		return core.ErrUniqueViolation
+	}
+	if nc := row.NewestCommitted(); nc != nil && nc.Rec != nil {
+		// A live committed version outside our snapshot: the primary key
+		// is taken even though we cannot see it.
+		return core.ErrUniqueViolation
+	}
+	for _, ix := range tbl.Indexes() {
+		if err := ix.Insert(tx.id, rec[ix.ColPos()], key); err != nil {
+			return err
+		}
+	}
+	if tx.ssi != nil {
+		if err := tx.db.ssi.onWrite(tx, table, key); err != nil {
+			return tx.fail(err)
+		}
+	}
+	rec = rec.Clone()
+	ver := &storage.Version{Rec: rec, Creator: tx.id}
+	row.Install(ver)
+	tx.writes = append(tx.writes, writeRec{table: tbl, key: key, row: row, ver: ver})
+	return nil
+}
+
+// Delete removes the row under key (writing a tombstone version).
+func (tx *Tx) Delete(table string, key core.Value) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	tbl, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	row := tbl.Row(key)
+	if row == nil {
+		return core.ErrNotFound
+	}
+	if err := tx.lockForWrite(tbl, key, row); err != nil {
+		return err
+	}
+	v := tx.visibleVersion(row)
+	if v == nil || v.Rec == nil {
+		return core.ErrNotFound
+	}
+	for _, ix := range tbl.Indexes() {
+		ix.Delete(tx.id, v.Rec[ix.ColPos()])
+	}
+	if tx.ssi != nil {
+		if err := tx.db.ssi.onWrite(tx, table, key); err != nil {
+			return tx.fail(err)
+		}
+	}
+	if row.UpdateOwn(tx.id, nil) {
+		return nil
+	}
+	ver := &storage.Version{Rec: nil, Creator: tx.id}
+	row.Install(ver)
+	tx.writes = append(tx.writes, writeRec{table: tbl, key: key, row: row, ver: ver})
+	return nil
+}
+
+// ReadForUpdate is SELECT ... FOR UPDATE. On both platforms it takes the
+// exclusive row lock and fails with ErrSerialization when the row was
+// updated by a concurrent committed transaction. On PlatformCommercial
+// the lock additionally acts like a write for conflict purposes: its
+// commit is remembered on the row, so later concurrent writers abort —
+// the paper's §II-C commercial semantics. On PlatformPostgres a committed
+// select-for-update leaves no trace (the §II-C interleaving is allowed).
+func (tx *Tx) ReadForUpdate(table string, key core.Value) (core.Record, error) {
+	if err := tx.stmt(); err != nil {
+		return nil, err
+	}
+	tbl, err := tx.table(table)
+	if err != nil {
+		return nil, err
+	}
+	row := tbl.Row(key)
+	if row == nil {
+		return nil, core.ErrNotFound
+	}
+	if err := tx.lockForWrite(tbl, key, row); err != nil {
+		return nil, err
+	}
+	v := tx.visibleVersion(row)
+	if v == nil || v.Rec == nil {
+		return nil, core.ErrNotFound
+	}
+	if tx.ssi != nil {
+		if err := tx.db.ssi.onRead(tx, table, key, row); err != nil {
+			return nil, tx.fail(err)
+		}
+	}
+	tx.recordRead(tbl, key, v)
+	if tx.db.cfg.Platform == core.PlatformCommercial && tx.db.cfg.Mode != core.Strict2PL {
+		tx.sfus = append(tx.sfus, sfuRec{table: tbl, key: key, row: row})
+	}
+	return v.Rec, nil
+}
+
+// ReadOnly reports whether the transaction has performed no writes (and,
+// on the commercial platform, no select-for-updates).
+func (tx *Tx) ReadOnly() bool { return len(tx.writes) == 0 && len(tx.sfus) == 0 }
+
+// Commit finishes the transaction. For updating transactions it waits
+// for the simulated WAL (group commit), assigns the commit sequence
+// number, stamps versions and releases locks. Read-only transactions
+// pay none of that, which is the cost asymmetry the paper's strategies
+// trade on. On error the transaction is aborted and the error returned.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.failedErr != nil {
+		// The transaction is in the aborted state (a serialization
+		// failure or deadlock occurred); COMMIT acts as ROLLBACK, as in
+		// PostgreSQL.
+		err := tx.failedErr
+		tx.Abort()
+		return err
+	}
+	if tx.ssi != nil && tx.ssi.doomed() {
+		tx.Abort()
+		return core.ErrSerialization
+	}
+
+	// Select-for-update on the commercial platform generates redo for
+	// the row locks (as Oracle does), so sfu-only transactions pay the
+	// updater's commit path too.
+	if len(tx.writes) > 0 || len(tx.sfus) > 0 {
+		// Commit-time CPU of an updating transaction (log-record and
+		// redo construction), charged before the device wait.
+		tx.db.machine.UseCPU(tx.db.machine.Config().UpdaterCommitCPU)
+		// WAL: the commit record must be durable before the commit is
+		// visible. Group commit amortizes this wait across concurrent
+		// committers. Locks are still held, so a blocked FUW writer
+		// waits through our fsync — exactly the PostgreSQL behaviour.
+		if err := tx.db.log.Commit(tx.id, logBytesPerWrite*(len(tx.writes)+len(tx.sfus))); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+
+	if tx.ssi != nil {
+		// Enter the committing state: from here this transaction cannot
+		// be picked as an SSI abort victim, and a doom that raced the
+		// check above is caught now.
+		if err := tx.db.ssi.precommit(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+
+	info := TxInfo{
+		ID:       tx.id,
+		StartCSN: tx.start,
+		ReadOnly: len(tx.writes) == 0,
+		Tag:      tx.tag,
+		Reads:    tx.reads,
+	}
+
+	if len(tx.writes) > 0 || len(tx.sfus) > 0 {
+		tx.db.commitMu.Lock()
+		csn := tx.db.commitSeq + 1
+		for _, w := range tx.writes {
+			w.ver.MarkCommitted(csn)
+			info.Writes = append(info.Writes, VersionRef{Table: w.table.Name(), Key: w.key, CSN: csn})
+		}
+		seen := make(map[*storage.Table]bool)
+		for _, w := range tx.writes {
+			if !seen[w.table] {
+				seen[w.table] = true
+				for _, ix := range w.table.Indexes() {
+					ix.Commit(tx.id, csn)
+				}
+			}
+		}
+		for _, s := range tx.sfus {
+			s.row.NoteSFUCommit(csn)
+			info.SFU = append(info.SFU, VersionRef{Table: s.table.Name(), Key: s.key, CSN: csn})
+		}
+		tx.db.commitSeq = csn
+		tx.db.commitMu.Unlock()
+		info.CommitCSN = csn
+	} else {
+		// Read-only: logically commits at its snapshot.
+		info.CommitCSN = tx.start
+	}
+
+	if tx.ssi != nil {
+		tx.db.ssi.finish(tx, info.CommitCSN)
+	}
+	tx.db.locks.ReleaseAll(tx.id)
+	tx.done = true
+	tx.db.commits.Add(1)
+	tx.db.notifyCommit(info)
+	return nil
+}
+
+// Abort rolls the transaction back: uncommitted versions are unlinked,
+// index entries removed, locks released. Abort after completion is a
+// no-op, so `defer tx.Abort()` is safe alongside an explicit Commit.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		tx.writes[i].row.RemoveUncommitted(tx.id)
+	}
+	seen := make(map[*storage.Table]bool)
+	for _, w := range tx.writes {
+		if !seen[w.table] {
+			seen[w.table] = true
+			for _, ix := range w.table.Indexes() {
+				ix.Abort(tx.id)
+			}
+		}
+	}
+	if tx.ssi != nil {
+		tx.db.ssi.abort(tx)
+	}
+	tx.db.locks.ReleaseAll(tx.id)
+	tx.done = true
+	tx.db.aborts.Add(1)
+}
+
+// Stmts returns the number of statements executed so far (diagnostics).
+func (tx *Tx) Stmts() int { return tx.nStmts }

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sicost/internal/engine"
+	"sicost/internal/metrics"
+	"sicost/internal/smallbank"
+	"sicost/internal/workload"
+)
+
+// Config controls how much work an experiment run does. The zero value
+// is filled with quick defaults (a full figure in tens of seconds); the
+// cmd/sibench flags expose paper-scale settings.
+type Config struct {
+	// Scale multiplies every simulated-hardware duration (1 = default
+	// profile; 4 ≈ the paper's hardware speed).
+	Scale float64
+	// Ramp and Measure are the warm-up and measurement intervals per
+	// point (the paper uses 30s + 60s).
+	Ramp, Measure time.Duration
+	// Reps repeats each point; results carry 95% confidence intervals
+	// (the paper uses 5).
+	Reps int
+	// MPLs is the multiprogramming-level sweep.
+	MPLs []int
+	// Customers is the table size (the paper loads 18000).
+	Customers int
+	Seed      int64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Defaults fills unset fields with the quick profile.
+func (c Config) Defaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Ramp == 0 {
+		c.Ramp = 100 * time.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 400 * time.Millisecond
+	}
+	if c.Reps == 0 {
+		c.Reps = 2
+	}
+	if len(c.MPLs) == 0 {
+		c.MPLs = []int{1, 3, 5, 10, 15, 20, 25, 30}
+	}
+	if c.Customers == 0 {
+		c.Customers = 18000
+	}
+	if c.Seed == 0 {
+		c.Seed = 20080407 // ICDE 2008
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Point is one measured value of a series.
+type Point struct {
+	// Label is the x-coordinate: an MPL ("10") or a transaction type
+	// ("Balance").
+	Label string
+	Mean  float64
+	CI    float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point returns the point with the given label, or nil.
+func (s *Series) Point(label string) *Point {
+	for i := range s.Points {
+		if s.Points[i].Label == label {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}
+
+// Result is a fully rendered experiment outcome.
+type Result struct {
+	ID, Title      string
+	XLabel, YLabel string
+	Series         []Series
+	// Notes carries shape expectations and caveats shown with the data.
+	Notes []string
+	// Text is pre-rendered non-tabular output (static analyses).
+	Text string
+}
+
+// Experiment is one table/figure runner.
+type Experiment struct {
+	ID, Title string
+	Run       func(cfg Config) (*Result, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: tables updated by each strategy", runTable1},
+		{"fig1", "Figure 1: SDG for the SmallBank benchmark", runFig1},
+		{"fig2", "Figure 2: SDG for Option WT", runFig2},
+		{"fig3", "Figure 3: SDGs for Option BW", runFig3},
+		{"fig4", "Figure 4: eliminating ALL vulnerable edges (PostgreSQL)", runFig4},
+		{"fig5a", "Figure 5(a): Option WT and BW throughput (PostgreSQL)", runFig5a},
+		{"fig5b", "Figure 5(b): throughput relative to SI (PostgreSQL)", runFig5b},
+		{"fig6", "Figure 6: serialization-failure abort rates at MPL=20 (PostgreSQL)", runFig6},
+		{"fig7", "Figure 7: high contention — hotspot 10, 60% Balance (PostgreSQL)", runFig7},
+		{"fig8", "Figure 8: Option WT on the commercial platform", runFig8},
+		{"fig9", "Figure 9: Option BW on the commercial platform", runFig9},
+		{"anomaly", "Anomaly validation: SI corrupts, strategies do not", runAnomaly},
+		{"ablation-fixedrow", "Ablation: per-customer vs single-row materialization", runAblationFixedRow},
+		{"ablation-groupcommit", "Ablation: group commit on/off", runAblationGroupCommit},
+		{"ablation-engine", "Extension: SSI and 2PL engine modes vs app-level strategies", runAblationEngine},
+		{"ablation-hotspot", "Ablation: hotspot-size sweep between Fig 5 and Fig 7", runAblationHotspot},
+		{"ablation-advisor", "Extension: analytic advisor predictions vs measured throughput", runAblationAdvisor},
+		{"ablation-latency", "Ablation: mean response time over MPL", runAblationLatency},
+	}
+}
+
+// ByID resolves an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newLoadedDB opens an engine with the given config, loads SmallBank on
+// free hardware, then installs the measured resource model.
+func newLoadedDB(engCfg engine.Config, cfg Config) (*engine.DB, error) {
+	measured := engCfg.Res
+	engCfg.Res = PostgresResources(0) // free machine while loading
+	engCfg.Res.VirtualCPUs = 0
+	db := engine.Open(engCfg)
+	if err := smallbank.CreateSchema(db); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: cfg.Customers, Seed: cfg.Seed}); err != nil {
+		db.Close()
+		return nil, err
+	}
+	db.SetResources(measured)
+	return db, nil
+}
+
+// sweepSpec describes one throughput-over-MPL sweep.
+type sweepSpec struct {
+	strategy *smallbank.Strategy
+	engCfg   engine.Config
+	mix      workload.Mix
+	hotspot  int
+	hotProb  float64
+}
+
+// runSweep measures TPS for each MPL with cfg.Reps repetitions and
+// returns the series with 95% confidence intervals.
+func runSweep(name string, spec sweepSpec, cfg Config) (Series, error) {
+	s := Series{Name: name}
+	for _, mpl := range cfg.MPLs {
+		var tps []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			db, err := newLoadedDB(spec.engCfg, cfg)
+			if err != nil {
+				return s, err
+			}
+			res, err := workload.Run(db, workload.Config{
+				Strategy: spec.strategy,
+				MPL:      mpl, Customers: cfg.Customers,
+				HotspotSize: spec.hotspot, HotspotProb: spec.hotProb,
+				Mix:  spec.mix,
+				Ramp: cfg.Ramp, Measure: cfg.Measure,
+				Seed: cfg.Seed + int64(rep+1)*104729,
+			})
+			db.Close()
+			if err != nil {
+				return s, err
+			}
+			tps = append(tps, res.TPS)
+		}
+		mean, ci := metrics.CI95(tps)
+		s.Points = append(s.Points, Point{Label: fmt.Sprintf("%d", mpl), Mean: mean, CI: ci})
+		cfg.logf("  %-22s MPL %-3d  %8.0f TPS ±%.0f", name, mpl, mean, ci)
+	}
+	return s, nil
+}
+
+// throughputFigure runs a set of strategies over the MPL sweep on one
+// platform profile.
+func throughputFigure(id, title string, cfg Config, engCfg engine.Config, mix workload.Mix,
+	hotspot int, hotProb float64, strategies []*smallbank.Strategy, notes ...string) (*Result, error) {
+
+	res := &Result{
+		ID: id, Title: title,
+		XLabel: "MPL", YLabel: "TPS",
+		Notes: notes,
+	}
+	for _, s := range strategies {
+		cfg.logf("%s: strategy %s", id, s.Name)
+		series, err := runSweep(s.Name, sweepSpec{
+			strategy: s, engCfg: engCfg, mix: mix, hotspot: hotspot, hotProb: hotProb,
+		}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// relativeToFirst converts an absolute-TPS result into one normalized to
+// its first series (SI), as the paper's 5(b)/8(b)/9(b) panels do.
+func relativeToFirst(abs *Result, id, title string) *Result {
+	rel := &Result{
+		ID: id, Title: title,
+		XLabel: abs.XLabel, YLabel: "% of SI throughput",
+		Notes: abs.Notes,
+	}
+	if len(abs.Series) == 0 {
+		return rel
+	}
+	base := abs.Series[0]
+	for _, s := range abs.Series[1:] {
+		out := Series{Name: s.Name}
+		for _, p := range s.Points {
+			bp := base.Point(p.Label)
+			if bp == nil || bp.Mean == 0 {
+				continue
+			}
+			out.Points = append(out.Points, Point{
+				Label: p.Label,
+				Mean:  100 * p.Mean / bp.Mean,
+				CI:    100 * p.CI / bp.Mean,
+			})
+		}
+		rel.Series = append(rel.Series, out)
+	}
+	return rel
+}

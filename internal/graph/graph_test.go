@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond() *Digraph {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddEdge("c", "d")
+	return g
+}
+
+func TestNodesAndEdges(t *testing.T) {
+	g := buildDiamond()
+	if got := g.Nodes(); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("Nodes = %v", got)
+	}
+	if got := g.Succ("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("Succ(a) = %v", got)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Fatal("HasEdge wrong")
+	}
+	g.AddEdge("a", "b") // duplicate is idempotent
+	if g.NumEdges() != 4 {
+		t.Fatal("duplicate edge counted")
+	}
+	g.AddNode("isolated")
+	if len(g.Nodes()) != 5 {
+		t.Fatal("AddNode failed")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := buildDiamond()
+	if !g.Reachable("a", "d") {
+		t.Fatal("a must reach d")
+	}
+	if g.Reachable("d", "a") {
+		t.Fatal("d must not reach a")
+	}
+	// Reachable(x,x) requires a cycle.
+	if g.Reachable("a", "a") {
+		t.Fatal("a is not on a cycle")
+	}
+	g.AddEdge("d", "a")
+	if !g.Reachable("a", "a") {
+		t.Fatal("a is on a cycle now")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := buildDiamond()
+	p := g.Path("a", "d")
+	if len(p) != 3 || p[0] != "a" || p[2] != "d" {
+		t.Fatalf("Path(a,d) = %v", p)
+	}
+	if p := g.Path("d", "a"); p != nil {
+		t.Fatalf("Path(d,a) = %v, want nil", p)
+	}
+	// Shortest cycle through a node.
+	g.AddEdge("d", "a")
+	cyc := g.Path("a", "a")
+	if len(cyc) < 2 || cyc[0] != "a" || cyc[len(cyc)-1] != "a" {
+		t.Fatalf("cycle = %v", cyc)
+	}
+	// Self-loop: shortest cycle has length 2 (x, x).
+	g2 := New()
+	g2.AddEdge("x", "x")
+	if got := g2.Path("x", "x"); len(got) != 2 {
+		t.Fatalf("self-loop path = %v", got)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a") // {a,b,c}
+	g.AddEdge("c", "d")
+	g.AddEdge("d", "e")
+	g.AddEdge("e", "d") // {d,e}
+	g.AddEdge("e", "f") // f alone, no self-loop
+	g.AddEdge("g", "g") // self-loop
+
+	sccs := g.SCCs()
+	want := [][]string{{"a", "b", "c"}, {"d", "e"}, {"g"}}
+	if !reflect.DeepEqual(sccs, want) {
+		t.Fatalf("SCCs = %v, want %v", sccs, want)
+	}
+	if !g.HasCycle() {
+		t.Fatal("graph has cycles")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) < 2 || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("FindCycle = %v", cyc)
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	g := buildDiamond()
+	if g.HasCycle() {
+		t.Fatal("diamond is acyclic")
+	}
+	if g.FindCycle() != nil {
+		t.Fatal("FindCycle on acyclic graph")
+	}
+	if len(g.SCCs()) != 0 {
+		t.Fatal("acyclic graph has no SCCs of interest")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildDiamond()
+	c := g.Clone()
+	c.AddEdge("d", "a")
+	if g.HasEdge("d", "a") {
+		t.Fatal("clone aliases original")
+	}
+	if !c.HasEdge("a", "b") {
+		t.Fatal("clone lost edges")
+	}
+}
+
+// Property: FindCycle's witness is a real cycle (consecutive edges exist)
+// and HasCycle agrees with SCC non-emptiness on random graphs.
+func TestCycleWitnessProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(edges []uint16) bool {
+		g := New()
+		for _, e := range edges {
+			from := names[int(e)%len(names)]
+			to := names[int(e/8)%len(names)]
+			g.AddEdge(from, to)
+		}
+		cyc := g.FindCycle()
+		if (cyc != nil) != g.HasCycle() {
+			return false
+		}
+		if cyc == nil {
+			return true
+		}
+		if len(cyc) < 2 || cyc[0] != cyc[len(cyc)-1] {
+			return false
+		}
+		for i := 0; i+1 < len(cyc); i++ {
+			if !g.HasEdge(cyc[i], cyc[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

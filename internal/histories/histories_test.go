@@ -1,0 +1,231 @@
+package histories
+
+import (
+	"errors"
+	"testing"
+
+	"sicost/internal/core"
+)
+
+func run(t *testing.T, mode core.CCMode, platform core.Platform, h string) *Result {
+	t.Helper()
+	res, err := Runner{Mode: mode, Platform: platform}.Run(h)
+	if err != nil {
+		t.Fatalf("history %q: %v", h, err)
+	}
+	return res
+}
+
+func runSI(t *testing.T, h string) *Result {
+	return run(t, core.SnapshotFUW, core.PlatformPostgres, h)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "x1", "q1(x)", "r(x)", "r1", "r1()", "w1(x)", "w1(x,y)",
+		"c1(x)", "b1(x)", "r1(x,y)",
+	}
+	for _, h := range bad {
+		if _, err := Parse(h); err == nil {
+			t.Errorf("Parse(%q) accepted", h)
+		}
+	}
+	steps, err := Parse("b1 r1(x) w1(x,5) u1(y) c1 a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 6 || steps[2].Val != 5 || steps[3].Kind != OpSFU {
+		t.Fatalf("parsed %+v", steps)
+	}
+}
+
+func TestRunnerErrors(t *testing.T) {
+	r := Runner{Mode: core.SnapshotFUW}
+	if _, err := r.Run("r1(x)"); err == nil {
+		t.Fatal("use before begin accepted")
+	}
+	if _, err := r.Run("b1 b1"); err == nil {
+		t.Fatal("double begin accepted")
+	}
+	if _, err := r.Run("bogus"); err == nil {
+		t.Fatal("parse error not propagated")
+	}
+}
+
+// --- The phenomena catalogue of Berenson et al. (the paper's ref [2]),
+// executed against each concurrency-control mode. ---
+
+// P0 dirty write: w1(x) then w2(x) before c1. Every mode must prevent
+// t2 overwriting uncommitted data — here by blocking on the row lock.
+func TestP0DirtyWrite(t *testing.T) {
+	for _, mode := range []core.CCMode{core.SnapshotFUW, core.Strict2PL, core.SerializableSI} {
+		res := run(t, mode, core.PlatformPostgres, "b1 b2 w1(x,1) w2(x,2) c1")
+		// Step 3 (w2) must have blocked at the time it was issued.
+		if res.Steps[3].Step.Kind != OpWrite || res.Steps[3].Step.Txn != 2 {
+			t.Fatalf("%v: unexpected step order %+v", mode, res.Steps)
+		}
+		// After c1, w2 resolved: under SI it must have failed (FUW);
+		// under 2PL it proceeds.
+		switch mode {
+		case core.Strict2PL:
+			if res.Steps[3].Outcome == Blocked {
+				t.Fatalf("2PL: w2 never resolved")
+			}
+		default:
+			if res.Steps[3].Outcome != Failed || !errors.Is(res.Steps[3].Err, core.ErrSerialization) {
+				t.Fatalf("%v: w2 outcome %v err %v, want FUW failure", mode, res.Steps[3].Outcome, res.Steps[3].Err)
+			}
+		}
+	}
+}
+
+// P1 dirty read: t2 must never see t1's uncommitted write.
+func TestP1DirtyRead(t *testing.T) {
+	for _, mode := range []core.CCMode{core.SnapshotFUW, core.SerializableSI} {
+		res := run(t, mode, core.PlatformPostgres, "b1 b2 w1(x,7) r2(x) c1 c2")
+		if res.Steps[3].Outcome != OK {
+			t.Fatalf("%v: snapshot read blocked or failed: %+v", mode, res.Steps[3])
+		}
+		if got := res.Value(3); got != 0 {
+			t.Fatalf("%v: dirty read saw %d", mode, got)
+		}
+	}
+	// 2PL: the read BLOCKS until t1 commits, then sees the committed 7.
+	res := run(t, core.Strict2PL, core.PlatformPostgres, "b1 b2 w1(x,7) r2(x) c1 c2")
+	if res.Steps[3].Outcome != OK || res.Value(3) != 7 {
+		t.Fatalf("2PL: read outcome %v val %d", res.Steps[3].Outcome, res.Value(3))
+	}
+}
+
+// P2 fuzzy (non-repeatable) read: two reads of x in t1 straddling a
+// committed update by t2.
+func TestP2FuzzyRead(t *testing.T) {
+	for _, mode := range []core.CCMode{core.SnapshotFUW, core.SerializableSI} {
+		res := run(t, mode, core.PlatformPostgres, "b1 r1(x) b2 w2(x,9) c2 r1(x) c1")
+		if res.Value(1) != res.Value(5) {
+			t.Fatalf("%v: non-repeatable read: %d then %d", mode, res.Value(1), res.Value(5))
+		}
+		// Under SSI this read-write pattern may doom t1 (false
+		// positive) but the values seen must still be stable; under
+		// plain SI the commit succeeds.
+		if mode == core.SnapshotFUW && !res.Committed[1] {
+			t.Fatalf("SI: reader aborted: %v", res.FinalErrs[1])
+		}
+	}
+}
+
+// P4 lost update: r1(x) r2(x) w2(x) c2 then w1(x) — t1's write must not
+// silently clobber t2's.
+func TestP4LostUpdate(t *testing.T) {
+	res := runSI(t, "b1 b2 r1(x) r2(x) w2(x,10) c2 w1(x,20) c1")
+	w1 := res.Steps[6]
+	if w1.Outcome != Failed || !errors.Is(w1.Err, core.ErrSerialization) {
+		t.Fatalf("SI must abort the late writer: %+v", w1)
+	}
+	if res.Committed[1] {
+		t.Fatal("t1 must not commit after the failed write")
+	}
+	// Final value is t2's.
+	chk := runSI(t, "b3 r3(x) c3") // fresh DB: value is 0; this line is a smoke check of the harness itself
+	_ = chk
+}
+
+// A5A read skew: t1 reads x, t2 updates x and y and commits, t1 reads y.
+// Snapshot modes must give t1 a consistent (old,old) view.
+func TestA5AReadSkew(t *testing.T) {
+	res := runSI(t, "b1 r1(x) b2 w2(x,1) w2(y,1) c2 r1(y) c1")
+	if res.Value(1) != 0 || res.Value(6) != 0 {
+		t.Fatalf("read skew: saw x=%d y=%d", res.Value(1), res.Value(6))
+	}
+}
+
+// A5B write skew: the signature SI anomaly. Allowed under plain SI,
+// prevented under SSI and 2PL.
+func TestA5BWriteSkew(t *testing.T) {
+	h := "b1 b2 r1(x) r1(y) r2(x) r2(y) w1(x,1) w2(y,1) c1 c2"
+
+	si := runSI(t, h)
+	if !si.Committed[1] || !si.Committed[2] {
+		t.Fatalf("plain SI must allow write skew: %v / %v", si.FinalErrs[1], si.FinalErrs[2])
+	}
+
+	ssi := run(t, core.SerializableSI, core.PlatformPostgres, h)
+	if ssi.Committed[1] && ssi.Committed[2] {
+		t.Fatal("SSI let both write-skew transactions commit")
+	}
+
+	twoPL := run(t, core.Strict2PL, core.PlatformPostgres, h)
+	if twoPL.Committed[1] && twoPL.Committed[2] {
+		t.Fatal("2PL let both write-skew transactions commit")
+	}
+}
+
+// The read-only anomaly of Fekete/O'Neil/O'Neil 2004 in DSL form:
+// t2 deposits to x; t3 (read-only) sees x new, y old; t1 writes y from
+// the old snapshot. All three commit under SI; SSI prevents it.
+func TestReadOnlyAnomalyDSL(t *testing.T) {
+	h := "b1 r1(x) r1(y) b2 r2(x) w2(x,20) c2 b3 r3(x) r3(y) c3 w1(y,-11) c1"
+	si := runSI(t, h)
+	if !si.Committed[1] || !si.Committed[2] || !si.Committed[3] {
+		t.Fatalf("SI must commit all three: %v %v %v", si.FinalErrs[1], si.FinalErrs[2], si.FinalErrs[3])
+	}
+	if si.Value(8) != 20 || si.Value(9) != 0 {
+		t.Fatalf("t3 saw x=%d y=%d, want 20/0", si.Value(8), si.Value(9))
+	}
+
+	ssi := run(t, core.SerializableSI, core.PlatformPostgres, h)
+	if ssi.Committed[1] && ssi.Committed[2] && ssi.Committed[3] {
+		t.Fatal("SSI let the read-only anomaly through")
+	}
+}
+
+// The §II-C select-for-update interleaving, platform by platform:
+// begin(T) begin(U) u1(x) c1 w2(x) c2.
+func TestSfuInterleavingPerPlatform(t *testing.T) {
+	h := "b1 b2 u1(x) c1 w2(x,5) c2"
+	pg := run(t, core.SnapshotFUW, core.PlatformPostgres, h)
+	if pg.Steps[4].Outcome != OK || !pg.Committed[2] {
+		t.Fatalf("PostgreSQL must allow the interleaving: %+v", pg.Steps[4])
+	}
+	cm := run(t, core.SnapshotFUW, core.PlatformCommercial, h)
+	if cm.Steps[4].Outcome != Failed || !errors.Is(cm.Steps[4].Err, core.ErrSerialization) {
+		t.Fatalf("commercial must reject the write: %+v", cm.Steps[4])
+	}
+}
+
+// Lock waits resolve: a blocked writer proceeds after the holder
+// aborts.
+func TestBlockedWriterResolvesOnAbort(t *testing.T) {
+	res := runSI(t, "b1 b2 w1(x,1) w2(x,2) a1 c2")
+	w2 := res.Steps[3]
+	if w2.Outcome != OK {
+		t.Fatalf("waiter after abort: %+v", w2)
+	}
+	if !res.Committed[2] {
+		t.Fatalf("t2: %v", res.FinalErrs[2])
+	}
+}
+
+// Custom initial items are honoured.
+func TestCustomItems(t *testing.T) {
+	res, err := Runner{
+		Mode:  core.SnapshotFUW,
+		Items: map[string]int64{"acct": 100},
+	}.Run("b1 r1(acct) c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(1) != 100 {
+		t.Fatalf("read %d", res.Value(1))
+	}
+}
+
+// A history ending with a still-blocked transaction is cleaned up.
+func TestDanglingBlockedTxnCleanedUp(t *testing.T) {
+	res := runSI(t, "b1 b2 w1(x,1) w2(x,2)")
+	if res.Steps[3].Outcome != Blocked {
+		t.Fatalf("w2 should be blocked at history end: %+v", res.Steps[3])
+	}
+	// The harness force-aborts; no goroutine leak, no panic. t2's fate
+	// is recorded in FinalErrs (possibly nil error if it won the race).
+}

@@ -1,0 +1,111 @@
+// Package metrics provides the small statistics toolkit the workload
+// driver and experiment harness need: latency recording with quantiles,
+// and 95% confidence intervals over repeated runs (the paper plots the
+// average of five runs with 95% CI error bars).
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder accumulates durations. It is NOT safe for concurrent
+// use: each workload client owns one and they are merged afterwards.
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (r *LatencyRecorder) Add(d time.Duration) { r.samples = append(r.samples, d) }
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Merge appends another recorder's samples.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	r.samples = append(r.samples, o.samples...)
+}
+
+// Mean returns the average latency (0 when empty).
+func (r *LatencyRecorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 when
+// empty.
+func (r *LatencyRecorder) Quantile(q float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.samples))
+	copy(sorted, r.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tTable95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (1-based); beyond the table the normal approximation is used.
+var tTable95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the mean of xs and the half-width of its 95% confidence
+// interval using the Student-t distribution (the paper's error bars).
+// With fewer than two samples the half-width is 0.
+func CI95(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	n := len(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	df := n - 1
+	t := 1.960
+	if df <= len(tTable95) {
+		t = tTable95[df-1]
+	}
+	return mean, t * StdDev(xs) / math.Sqrt(float64(n))
+}

@@ -1,0 +1,199 @@
+package sdg
+
+import (
+	"sort"
+)
+
+// DangerousStructure is the pattern of Fekete et al.: two consecutive
+// vulnerable edges In: P→Q and Out: Q→R that lie on a cycle of the SDG
+// (the cycle's remaining edges may be of any kind; P and R may be the
+// same program). Q is the pivot. If the SDG of a mix has no dangerous
+// structure, every execution under SI is serializable.
+type DangerousStructure struct {
+	Pivot string
+	In    *Edge // vulnerable P→Q
+	Out   *Edge // vulnerable Q→R
+	// Cycle is a witness cycle containing the two edges, as a node
+	// sequence starting and ending at P.
+	Cycle []string
+}
+
+// DangerousStructures enumerates all dangerous structures of the graph,
+// sorted by (pivot, in, out) for determinism.
+func (g *Graph) DangerousStructures() []DangerousStructure {
+	d := g.digraph()
+	var out []DangerousStructure
+	for _, in := range g.VulnerableEdges() {
+		for _, outE := range g.VulnerableEdges() {
+			if in.To != outE.From {
+				continue
+			}
+			p, q, r := in.From, in.To, outE.To
+			var cycle []string
+			switch {
+			case r == p:
+				// The two vulnerable edges already form the cycle.
+				cycle = []string{p, q, r}
+			default:
+				back := d.Path(r, p)
+				if back == nil {
+					continue
+				}
+				cycle = append([]string{p, q}, back...)
+			}
+			out = append(out, DangerousStructure{
+				Pivot: q, In: in, Out: outE, Cycle: cycle,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pivot != b.Pivot {
+			return a.Pivot < b.Pivot
+		}
+		if a.In.ID() != b.In.ID() {
+			return a.In.ID() < b.In.ID()
+		}
+		return a.Out.ID() < b.Out.ID()
+	})
+	return out
+}
+
+// IsSafe reports whether the mix is SI-safe: no dangerous structure, so
+// by the main theorem of [FLOOS05] every execution on an SI platform is
+// serializable.
+func (g *Graph) IsSafe() bool { return len(g.DangerousStructures()) == 0 }
+
+// Pivots returns the distinct pivot programs of all dangerous
+// structures, sorted. (Fekete's PODS 2005 mixed-isolation result runs
+// exactly these under 2PL.)
+func (g *Graph) Pivots() []string {
+	set := map[string]bool{}
+	for _, ds := range g.DangerousStructures() {
+		set[ds.Pivot] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// edgePair is an unordered id pair used during cover search.
+type edgeSet map[string]bool
+
+// coversAll reports whether neutralizing the edges in s removes every
+// dangerous structure: each structure needs at least one of its two
+// vulnerable edges in s.
+func coversAll(structures []DangerousStructure, s edgeSet) bool {
+	for _, ds := range structures {
+		if !s[ds.In.ID()] && !s[ds.Out.ID()] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalFixSets returns all minimum-cardinality sets of vulnerable
+// edges whose neutralization removes every dangerous structure. Choosing
+// such a set is NP-hard in general (Jorwekar et al., VLDB 2007); the
+// exact subset search here is exponential in the number of vulnerable
+// edges participating in dangerous structures, which is small for
+// real program mixes (2 for SmallBank). For larger inputs use
+// GreedyFixSet.
+func (g *Graph) MinimalFixSets() [][]string {
+	structures := g.DangerousStructures()
+	if len(structures) == 0 {
+		return [][]string{{}}
+	}
+	// Candidate edges: only those participating in a dangerous pair.
+	candSet := map[string]bool{}
+	for _, ds := range structures {
+		candSet[ds.In.ID()] = true
+		candSet[ds.Out.ID()] = true
+	}
+	cands := make([]string, 0, len(candSet))
+	for id := range candSet {
+		cands = append(cands, id)
+	}
+	sort.Strings(cands)
+
+	for size := 1; size <= len(cands); size++ {
+		var results [][]string
+		idx := make([]int, size)
+		var rec func(start, depth int)
+		rec = func(start, depth int) {
+			if depth == size {
+				s := edgeSet{}
+				for _, i := range idx {
+					s[cands[i]] = true
+				}
+				if coversAll(structures, s) {
+					pick := make([]string, size)
+					for j, i := range idx {
+						pick[j] = cands[i]
+					}
+					results = append(results, pick)
+				}
+				return
+			}
+			for i := start; i < len(cands); i++ {
+				idx[depth] = i
+				rec(i+1, depth+1)
+			}
+		}
+		rec(0, 0)
+		if len(results) > 0 {
+			return results
+		}
+	}
+	return nil
+}
+
+// GreedyFixSet returns a (not necessarily minimum) fix set by repeatedly
+// taking the vulnerable edge covering the most remaining dangerous
+// structures. Deterministic tie-break by edge id.
+func (g *Graph) GreedyFixSet() []string {
+	remaining := g.DangerousStructures()
+	var picked []string
+	for len(remaining) > 0 {
+		counts := map[string]int{}
+		for _, ds := range remaining {
+			counts[ds.In.ID()]++
+			counts[ds.Out.ID()]++
+		}
+		best, bestN := "", -1
+		ids := make([]string, 0, len(counts))
+		for id := range counts {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if counts[id] > bestN {
+				best, bestN = id, counts[id]
+			}
+		}
+		picked = append(picked, best)
+		var next []DangerousStructure
+		for _, ds := range remaining {
+			if ds.In.ID() != best && ds.Out.ID() != best {
+				next = append(next, ds)
+			}
+		}
+		remaining = next
+	}
+	sort.Strings(picked)
+	return picked
+}
+
+// AllVulnerableEdgeIDs returns every vulnerable edge id (the
+// Materialize/PromoteALL strategies neutralize all of them without SDG
+// analysis).
+func (g *Graph) AllVulnerableEdgeIDs() []string {
+	var out []string
+	for _, e := range g.VulnerableEdges() {
+		out = append(out, e.ID())
+	}
+	return out
+}

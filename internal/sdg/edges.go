@@ -1,0 +1,246 @@
+package sdg
+
+import (
+	"fmt"
+	"sort"
+
+	"sicost/internal/graph"
+)
+
+// ConflictType classifies a pairwise conflict between transaction
+// instances of two programs.
+type ConflictType uint8
+
+// Conflict types, named from the edge's source side: RW means the source
+// program reads a version that the target program overwrites (an
+// anti-dependency — the kind that can make an edge vulnerable).
+const (
+	RW ConflictType = iota
+	WW
+	WR
+)
+
+// String names the conflict type.
+func (c ConflictType) String() string {
+	switch c {
+	case RW:
+		return "rw"
+	case WW:
+		return "ww"
+	default:
+		return "wr"
+	}
+}
+
+// Conflict is one concrete conflicting access pair contributing to an
+// edge From→To.
+type Conflict struct {
+	Type ConflictType
+	// FromAccess / ToAccess index into the respective program's Accesses.
+	FromAccess, ToAccess int
+	// Shielded is set on RW conflicts that are accompanied, for every
+	// parameter assignment that produces them, by a WW conflict — the
+	// First-Updater/Committer rule then prevents the transactions from
+	// committing concurrently, so this conflict cannot make the edge
+	// vulnerable (the paper's WC→Amg argument).
+	Shielded bool
+}
+
+// Edge is one SDG edge between two programs.
+type Edge struct {
+	From, To string
+	// Vulnerable is true when at least one unshielded RW conflict exists
+	// from From to To: the transactions can run concurrently with From
+	// reading a version older than To's write.
+	Vulnerable bool
+	Conflicts  []Conflict
+}
+
+// ID renders the edge as "From->To".
+func (e *Edge) ID() string { return e.From + "->" + e.To }
+
+// Graph is the Static Dependency Graph of a program mix.
+type Graph struct {
+	programs map[string]*Program
+	order    []string
+	edges    map[string]*Edge // keyed by Edge.ID()
+}
+
+// New computes the SDG of the given programs. Program names must be
+// unique.
+func New(programs ...*Program) (*Graph, error) {
+	g := &Graph{
+		programs: make(map[string]*Program, len(programs)),
+		edges:    make(map[string]*Edge),
+	}
+	for _, p := range programs {
+		if _, dup := g.programs[p.Name]; dup {
+			return nil, fmt.Errorf("sdg: duplicate program name %q", p.Name)
+		}
+		g.programs[p.Name] = p
+		g.order = append(g.order, p.Name)
+	}
+	sort.Strings(g.order)
+	for _, pn := range g.order {
+		for _, qn := range g.order {
+			g.computeEdge(g.programs[pn], g.programs[qn])
+		}
+	}
+	return g, nil
+}
+
+// MustNew is New for statically known program sets.
+func MustNew(programs ...*Program) *Graph {
+	g, err := New(programs...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// canCollide reports whether accesses a (in one instance) and b (in
+// another instance) can address the same item: same table, overlapping
+// columns. Parameters of different instances can always coincide; two
+// Fixed accesses collide only when they name the same fixed row.
+func canCollide(a, b Access) bool {
+	if a.Table != b.Table || !overlaps(a.Cols, b.Cols) {
+		return false
+	}
+	if a.Fixed && b.Fixed {
+		return a.Param == b.Param
+	}
+	return true
+}
+
+// shieldedRW reports whether the RW conflict (read ra of P against write
+// wb of Q) is accompanied by a guaranteed WW conflict: P writes some item
+// with the same parameter as ra, Q writes some item with the same
+// parameter as wb, on a common table/column set. Whenever the rw
+// collision occurs (ra's row equals wb's row), that WW collision occurs
+// too, so SI's First-Updater-Wins forbids the two transactions from
+// committing concurrently.
+func shieldedRW(p *Program, ra Access, q *Program, wb Access) bool {
+	// Unconditional shield: both programs write the same fixed row, so
+	// *every* pair of instances has a ww conflict whatever the
+	// parameters (the "simplest approach" materialization of §II-B).
+	for _, wp := range p.Writes() {
+		if !wp.Fixed {
+			continue
+		}
+		for _, wq := range q.Writes() {
+			if wq.Fixed && canCollide(wp, wq) {
+				return true
+			}
+		}
+	}
+	for _, wp := range p.Writes() {
+		if !sameRowVar(wp, ra) {
+			continue
+		}
+		for _, wq := range q.Writes() {
+			if !sameRowVar(wq, wb) {
+				continue
+			}
+			if canCollide(wp, wq) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sameRowVar reports whether access w addresses a row determined by the
+// same program parameter as access a — i.e. within any one instance, if
+// a touches row r of its table, w touches the row selected by the same
+// parameter value. (w may be on a different table: what matters is that
+// the parameter values coincide, e.g. Conflict[x] alongside a read of
+// Saving[x].)
+func sameRowVar(w, a Access) bool {
+	return w.Param == a.Param && w.Fixed == a.Fixed
+}
+
+// computeEdge adds the edge p→q (p ≠ q or self-edge) if any conflict
+// exists in that direction.
+// Self-edges (p == q) model two instances of the same program
+// conflicting; they participate in cycles and can, for mixes other than
+// SmallBank, even be vulnerable, so they are computed like any other.
+func (g *Graph) computeEdge(p, q *Program) {
+	var conflicts []Conflict
+	vulnerable := false
+	for i, a := range p.Accesses {
+		for j, b := range q.Accesses {
+			if !canCollide(a, b) {
+				continue
+			}
+			switch {
+			case a.Kind != Write && b.Kind == Write:
+				c := Conflict{Type: RW, FromAccess: i, ToAccess: j}
+				c.Shielded = shieldedRW(p, a, q, b)
+				if !c.Shielded {
+					vulnerable = true
+				}
+				conflicts = append(conflicts, c)
+			case a.Kind == Write && b.Kind == Write:
+				conflicts = append(conflicts, Conflict{Type: WW, FromAccess: i, ToAccess: j})
+			case a.Kind == Write && b.Kind != Write:
+				conflicts = append(conflicts, Conflict{Type: WR, FromAccess: i, ToAccess: j})
+			}
+		}
+	}
+	if len(conflicts) == 0 {
+		return
+	}
+	g.edges[p.Name+"->"+q.Name] = &Edge{
+		From: p.Name, To: q.Name, Vulnerable: vulnerable, Conflicts: conflicts,
+	}
+}
+
+// Programs returns the program names in sorted order.
+func (g *Graph) Programs() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Program returns the named program, or nil.
+func (g *Graph) Program(name string) *Program { return g.programs[name] }
+
+// Edges returns all edges sorted by id.
+func (g *Graph) Edges() []*Edge {
+	ids := make([]string, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Edge, len(ids))
+	for i, id := range ids {
+		out[i] = g.edges[id]
+	}
+	return out
+}
+
+// Edge returns the edge from→to, or nil.
+func (g *Graph) Edge(from, to string) *Edge { return g.edges[from+"->"+to] }
+
+// VulnerableEdges returns the vulnerable edges sorted by id.
+func (g *Graph) VulnerableEdges() []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges() {
+		if e.Vulnerable {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// digraph lowers the SDG to a plain digraph over program names.
+func (g *Graph) digraph() *graph.Digraph {
+	d := graph.New()
+	for _, n := range g.order {
+		d.AddNode(n)
+	}
+	for _, e := range g.edges {
+		d.AddEdge(e.From, e.To)
+	}
+	return d
+}

@@ -1,0 +1,172 @@
+// Package sdg implements the Static Dependency Graph theory of Fekete,
+// Liarokapis, O'Neil, O'Neil and Shasha ("Making snapshot isolation
+// serializable", TODS 2005) that the paper's program-modification
+// strategies are built on: programs abstracted as parameterized
+// read/write sets, conflict edges, vulnerable edges (rw-antidependencies
+// not shadowed by a write-write conflict), dangerous structures (two
+// consecutive vulnerable edges on a cycle), and the two repair
+// techniques — materialization and promotion — that make chosen edges
+// non-vulnerable.
+//
+// The paper's analysis of SmallBank (§III-C) is reproduced exactly by
+// this package; internal/smallbank declares the benchmark's programs in
+// this model and the figure-1/2/3 experiments render the results.
+package sdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AccessKind classifies one data access of a program.
+type AccessKind uint8
+
+// Access kinds. PredRead marks predicate evaluations whose result set a
+// writer could change; promotion cannot repair conflicts against them
+// (§II-C: "promotion is less general than materialization").
+const (
+	Read AccessKind = iota
+	Write
+	PredRead
+)
+
+// String names the kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	case PredRead:
+		return "pr"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Access is one parameterized data access: a program touches the row(s)
+// of Table selected by the program parameter Param, reading or writing
+// the given columns. Two accesses from different program instances can
+// collide exactly when their parameters can take equal values (always,
+// in this model) — but accesses *within* one program instance sharing
+// the same Param name are guaranteed to address the same row, which is
+// what the write-write shielding argument relies on.
+type Access struct {
+	Table string
+	// Cols is the set of columns touched; conflicts require overlap.
+	Cols []string
+	// Param is the program parameter that selects the row ("x", "N1").
+	// Accesses with equal Param within one program address the same row.
+	Param string
+	// Fixed marks an access to one specific constant row (the "simplest
+	// approach" to materialization in §II-B); all instances of all
+	// programs with a Fixed access to the same table/param collide.
+	Fixed bool
+	Kind  AccessKind
+}
+
+// overlaps reports whether the column sets intersect. An empty column
+// set means "whole row" and overlaps everything.
+func overlaps(a, b []string) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return true
+	}
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the access compactly, e.g. "r Saving.Balance[x]".
+func (a Access) String() string {
+	cols := strings.Join(a.Cols, ",")
+	if cols == "" {
+		cols = "*"
+	}
+	p := a.Param
+	if a.Fixed {
+		p = "#" + p
+	}
+	return fmt.Sprintf("%s %s.%s[%s]", a.Kind, a.Table, cols, p)
+}
+
+// Program is one transaction program of the application mix.
+type Program struct {
+	Name     string
+	Accesses []Access
+}
+
+// ReadOnly reports whether the program performs no writes.
+func (p *Program) ReadOnly() bool {
+	for _, a := range p.Accesses {
+		if a.Kind == Write {
+			return false
+		}
+	}
+	return true
+}
+
+// Writes returns the program's write accesses.
+func (p *Program) Writes() []Access {
+	var out []Access
+	for _, a := range p.Accesses {
+		if a.Kind == Write {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Reads returns the program's read and predicate-read accesses.
+func (p *Program) Reads() []Access {
+	var out []Access
+	for _, a := range p.Accesses {
+		if a.Kind != Write {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TablesWritten lists the distinct tables the program writes, sorted.
+// (Table I of the paper summarises strategies by exactly this.)
+func (p *Program) TablesWritten() []string {
+	set := map[string]bool{}
+	for _, a := range p.Writes() {
+		set[a.Table] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	c := &Program{Name: p.Name, Accesses: make([]Access, len(p.Accesses))}
+	copy(c.Accesses, p.Accesses)
+	for i := range c.Accesses {
+		cols := make([]string, len(p.Accesses[i].Cols))
+		copy(cols, p.Accesses[i].Cols)
+		c.Accesses[i].Cols = cols
+	}
+	return c
+}
+
+// hasWrite reports whether the program contains a write access matching
+// table/cols/param (used to avoid duplicating modifications).
+func (p *Program) hasWrite(table string, cols []string, param string, fixed bool) bool {
+	for _, a := range p.Accesses {
+		if a.Kind == Write && a.Table == table && a.Param == param && a.Fixed == fixed && overlaps(a.Cols, cols) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package sdg
+
+import (
+	"fmt"
+	"sort"
+
+	"sicost/internal/core"
+)
+
+// Technique is one of the paper's three ways to make an edge
+// non-vulnerable (§II-B, §II-C).
+type Technique uint8
+
+// Techniques.
+const (
+	// Materialize introduces updates of a dedicated Conflict table into
+	// both programs of the edge, parameterized so the write-write
+	// conflict arises exactly when the read-write conflict would.
+	Materialize Technique = iota
+	// PromoteUpdate adds an identity update (SET col = col) on the read
+	// item to the source program of the edge.
+	PromoteUpdate
+	// PromoteSFU replaces the vulnerable SELECT by SELECT...FOR UPDATE.
+	// Only sound on platforms where sfu participates in write-conflict
+	// detection (the commercial platform; §II-C shows PostgreSQL's sfu
+	// admits an interleaving that keeps the edge vulnerable).
+	PromoteSFU
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case Materialize:
+		return "materialize"
+	case PromoteUpdate:
+		return "promote-upd"
+	case PromoteSFU:
+		return "promote-sfu"
+	default:
+		return fmt.Sprintf("technique(%d)", uint8(t))
+	}
+}
+
+// SoundOn reports whether the technique actually removes vulnerability
+// on the given platform.
+func (t Technique) SoundOn(p core.Platform) bool {
+	if t == PromoteSFU {
+		return p == core.PlatformCommercial
+	}
+	return true
+}
+
+// Modification describes one statement added to one program.
+type Modification struct {
+	Program   string
+	Technique Technique
+	Add       Access
+	// Edge is the edge id this modification serves.
+	Edge string
+}
+
+// ConflictTable is the dedicated table name used by materialization, as
+// in the paper.
+const ConflictTable = "Conflict"
+
+// Neutralize applies the technique to one edge of the program mix and
+// returns the modified mix (a deep copy; inputs are untouched) plus the
+// modifications made. It fails when the technique cannot repair the edge
+// (promotion against a predicate-read conflict, or no vulnerable
+// conflict present).
+func Neutralize(programs []*Program, edge *Edge, tech Technique) ([]*Program, []Modification, error) {
+	byName := make(map[string]*Program, len(programs))
+	out := make([]*Program, len(programs))
+	for i, p := range programs {
+		c := p.Clone()
+		out[i] = c
+		byName[p.Name] = c
+	}
+	from, to := byName[edge.From], byName[edge.To]
+	if from == nil || to == nil {
+		return nil, nil, fmt.Errorf("sdg: edge %s references unknown programs", edge.ID())
+	}
+	// The original (unmodified) programs define the conflicting accesses.
+	origFrom, origTo := from.Clone(), to.Clone()
+
+	var mods []Modification
+	add := func(p *Program, a Access, edgeID string) {
+		if p.hasWrite(a.Table, a.Cols, a.Param, a.Fixed) {
+			return
+		}
+		p.Accesses = append(p.Accesses, a)
+		mods = append(mods, Modification{Program: p.Name, Technique: tech, Add: a, Edge: edgeID})
+	}
+
+	repaired := false
+	for _, c := range edge.Conflicts {
+		if c.Type != RW || c.Shielded {
+			continue
+		}
+		read := origFrom.Accesses[c.FromAccess]
+		write := origTo.Accesses[c.ToAccess]
+		switch tech {
+		case Materialize:
+			add(from, Access{
+				Table: ConflictTable, Cols: []string{"Value"},
+				Param: read.Param, Fixed: read.Fixed, Kind: Write,
+			}, edge.ID())
+			add(to, Access{
+				Table: ConflictTable, Cols: []string{"Value"},
+				Param: write.Param, Fixed: write.Fixed, Kind: Write,
+			}, edge.ID())
+		case PromoteUpdate, PromoteSFU:
+			if read.Kind == PredRead {
+				return nil, nil, fmt.Errorf(
+					"sdg: cannot promote edge %s: conflict on predicate read %s (materialize instead)",
+					edge.ID(), read)
+			}
+			add(from, Access{
+				Table: read.Table, Cols: write.Cols,
+				Param: read.Param, Fixed: read.Fixed, Kind: Write,
+			}, edge.ID())
+		}
+		repaired = true
+	}
+	if !repaired {
+		return nil, nil, fmt.Errorf("sdg: edge %s has no unshielded rw conflict to repair", edge.ID())
+	}
+	return out, mods, nil
+}
+
+// MaterializeFixedRow is the "simplest approach" of §II-B: both programs
+// update one constant row of the Conflict table, introducing contention
+// even between instances with unrelated parameters. Used by the ablation
+// experiment that quantifies why the paper parameterizes the conflict
+// row.
+func MaterializeFixedRow(programs []*Program, edge *Edge) ([]*Program, []Modification, error) {
+	byName := make(map[string]*Program, len(programs))
+	out := make([]*Program, len(programs))
+	for i, p := range programs {
+		c := p.Clone()
+		out[i] = c
+		byName[p.Name] = c
+	}
+	from, to := byName[edge.From], byName[edge.To]
+	if from == nil || to == nil {
+		return nil, nil, fmt.Errorf("sdg: edge %s references unknown programs", edge.ID())
+	}
+	var mods []Modification
+	fixed := Access{Table: ConflictTable, Cols: []string{"Value"}, Param: "0", Fixed: true, Kind: Write}
+	for _, p := range []*Program{from, to} {
+		if p.hasWrite(fixed.Table, fixed.Cols, fixed.Param, true) {
+			continue
+		}
+		p.Accesses = append(p.Accesses, fixed)
+		mods = append(mods, Modification{Program: p.Name, Technique: Materialize, Add: fixed, Edge: edge.ID()})
+	}
+	return out, mods, nil
+}
+
+// NeutralizeAll repeatedly neutralizes vulnerable edges with the given
+// technique until none remain — the MaterializeALL / PromoteALL
+// strategies that skip SDG analysis. It returns the modified mix and all
+// modifications.
+func NeutralizeAll(programs []*Program, tech Technique) ([]*Program, []Modification, error) {
+	cur := programs
+	var all []Modification
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			return nil, nil, fmt.Errorf("sdg: NeutralizeAll did not converge")
+		}
+		g, err := New(cur...)
+		if err != nil {
+			return nil, nil, err
+		}
+		vuln := g.VulnerableEdges()
+		if len(vuln) == 0 {
+			return cur, all, nil
+		}
+		next, mods, err := Neutralize(cur, vuln[0], tech)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = next
+		all = append(all, mods...)
+	}
+}
+
+// SortModifications orders modifications by (program, table, param) for
+// deterministic output.
+func SortModifications(mods []Modification) {
+	sort.Slice(mods, func(i, j int) bool {
+		a, b := mods[i], mods[j]
+		if a.Program != b.Program {
+			return a.Program < b.Program
+		}
+		if a.Add.Table != b.Add.Table {
+			return a.Add.Table < b.Add.Table
+		}
+		return a.Add.Param < b.Add.Param
+	})
+}

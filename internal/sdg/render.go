@@ -1,0 +1,102 @@
+package sdg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDOT renders the SDG in Graphviz dot format: dashed edges are
+// vulnerable (the paper's convention), shaded nodes are update programs,
+// and self-loops are included only when vulnerable to keep the diagram
+// close to the paper's figures.
+func (g *Graph) ToDOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	for _, name := range g.Programs() {
+		p := g.Program(name)
+		fill := "white"
+		if !p.ReadOnly() {
+			fill = "lightgrey"
+		}
+		fmt.Fprintf(&b, "  %q [style=filled, fillcolor=%s, shape=ellipse];\n", name, fill)
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To && !e.Vulnerable {
+			continue
+		}
+		style := "solid"
+		if e.Vulnerable {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s];\n", e.From, e.To, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Describe renders a text report of the graph: programs, edges with
+// vulnerability flags, dangerous structures, and minimal fix sets. This
+// is the output of `sibench -exp fig1` and of cmd/sdgtool.
+func (g *Graph) Describe() string {
+	var b strings.Builder
+	b.WriteString("Programs:\n")
+	for _, name := range g.Programs() {
+		p := g.Program(name)
+		kind := "update"
+		if p.ReadOnly() {
+			kind = "read-only"
+		}
+		fmt.Fprintf(&b, "  %-4s (%s)\n", name, kind)
+		for _, a := range p.Accesses {
+			fmt.Fprintf(&b, "       %s\n", a)
+		}
+	}
+	b.WriteString("Edges (dashed = vulnerable):\n")
+	for _, e := range g.Edges() {
+		if e.From == e.To && !e.Vulnerable {
+			continue
+		}
+		mark := "──>"
+		if e.Vulnerable {
+			mark = "┄┄>"
+		}
+		types := map[string]bool{}
+		for _, c := range e.Conflicts {
+			s := c.Type.String()
+			if c.Type == RW && c.Shielded {
+				s += "(shielded)"
+			}
+			types[s] = true
+		}
+		var ts []string
+		for t := range types {
+			ts = append(ts, t)
+		}
+		sortStrings(ts)
+		fmt.Fprintf(&b, "  %-4s %s %-4s  [%s]\n", e.From, mark, e.To, strings.Join(ts, " "))
+	}
+	structures := g.DangerousStructures()
+	if len(structures) == 0 {
+		b.WriteString("Dangerous structures: none — every execution under SI is serializable.\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Dangerous structures (%d):\n", len(structures))
+	for _, ds := range structures {
+		fmt.Fprintf(&b, "  pivot %-4s : %s ┄┄> %s ┄┄> %s  (cycle %s)\n",
+			ds.Pivot, ds.In.From, ds.Pivot, ds.Out.To, strings.Join(ds.Cycle, "→"))
+	}
+	b.WriteString("Minimal fix sets (neutralize any one set):\n")
+	for _, set := range g.MinimalFixSets() {
+		fmt.Fprintf(&b, "  {%s}\n", strings.Join(set, ", "))
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

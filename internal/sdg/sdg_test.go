@@ -1,0 +1,416 @@
+package sdg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sicost/internal/core"
+)
+
+// smallBankPrograms builds the paper's §III transaction mix in the SDG
+// model. This is intentionally duplicated from internal/smallbank so the
+// theory package is validated standalone against the paper's Figure 1.
+func smallBankPrograms() []*Program {
+	bal := &Program{Name: "Bal", Accesses: []Access{
+		{Table: "Account", Cols: []string{"CustomerID"}, Param: "N", Kind: Read},
+		{Table: "Saving", Cols: []string{"Balance"}, Param: "x", Kind: Read},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x", Kind: Read},
+	}}
+	dc := &Program{Name: "DC", Accesses: []Access{
+		{Table: "Account", Cols: []string{"CustomerID"}, Param: "N", Kind: Read},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x", Kind: Read},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x", Kind: Write},
+	}}
+	ts := &Program{Name: "TS", Accesses: []Access{
+		{Table: "Account", Cols: []string{"CustomerID"}, Param: "N", Kind: Read},
+		{Table: "Saving", Cols: []string{"Balance"}, Param: "x", Kind: Read},
+		{Table: "Saving", Cols: []string{"Balance"}, Param: "x", Kind: Write},
+	}}
+	amg := &Program{Name: "Amg", Accesses: []Access{
+		{Table: "Account", Cols: []string{"CustomerID"}, Param: "N1", Kind: Read},
+		{Table: "Account", Cols: []string{"CustomerID"}, Param: "N2", Kind: Read},
+		{Table: "Saving", Cols: []string{"Balance"}, Param: "x1", Kind: Read},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x1", Kind: Read},
+		{Table: "Saving", Cols: []string{"Balance"}, Param: "x1", Kind: Write},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x1", Kind: Write},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x2", Kind: Read},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x2", Kind: Write},
+	}}
+	wc := &Program{Name: "WC", Accesses: []Access{
+		{Table: "Account", Cols: []string{"CustomerID"}, Param: "N", Kind: Read},
+		{Table: "Saving", Cols: []string{"Balance"}, Param: "x", Kind: Read},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x", Kind: Read},
+		{Table: "Checking", Cols: []string{"Balance"}, Param: "x", Kind: Write},
+	}}
+	return []*Program{bal, dc, ts, amg, wc}
+}
+
+func vulnIDs(g *Graph) []string {
+	var out []string
+	for _, e := range g.VulnerableEdges() {
+		out = append(out, e.ID())
+	}
+	return out
+}
+
+// TestSmallBankSDGMatchesFigure1 reproduces the paper's §III-C analysis.
+func TestSmallBankSDGMatchesFigure1(t *testing.T) {
+	g := MustNew(smallBankPrograms()...)
+
+	want := []string{"Bal->Amg", "Bal->DC", "Bal->TS", "Bal->WC", "WC->TS"}
+	if got := vulnIDs(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("vulnerable edges = %v, want %v", got, want)
+	}
+
+	// WC->Amg must exist but be shielded (the paper's subtle case).
+	e := g.Edge("WC", "Amg")
+	if e == nil {
+		t.Fatal("WC->Amg edge missing")
+	}
+	if e.Vulnerable {
+		t.Fatal("WC->Amg must not be vulnerable: Amg's Saving write is shadowed by the Checking ww conflict")
+	}
+	hasShieldedRW := false
+	for _, c := range e.Conflicts {
+		if c.Type == RW && c.Shielded {
+			hasShieldedRW = true
+		}
+	}
+	if !hasShieldedRW {
+		t.Fatal("WC->Amg should contain a shielded rw conflict")
+	}
+
+	// Exactly one dangerous structure: Bal -> WC -> TS.
+	structures := g.DangerousStructures()
+	if len(structures) != 1 {
+		t.Fatalf("dangerous structures = %d, want 1: %+v", len(structures), structures)
+	}
+	ds := structures[0]
+	if ds.Pivot != "WC" || ds.In.ID() != "Bal->WC" || ds.Out.ID() != "WC->TS" {
+		t.Fatalf("dangerous structure = pivot %s, %s, %s", ds.Pivot, ds.In.ID(), ds.Out.ID())
+	}
+	if g.IsSafe() {
+		t.Fatal("unmodified SmallBank must be unsafe")
+	}
+	if got := g.Pivots(); !reflect.DeepEqual(got, []string{"WC"}) {
+		t.Fatalf("pivots = %v", got)
+	}
+}
+
+func TestMinimalFixSetsAreTheTwoOptions(t *testing.T) {
+	g := MustNew(smallBankPrograms()...)
+	sets := g.MinimalFixSets()
+	// Either neutralize Bal->WC (Option BW) or WC->TS (Option WT).
+	want := [][]string{{"Bal->WC"}, {"WC->TS"}}
+	if !reflect.DeepEqual(sets, want) {
+		t.Fatalf("fix sets = %v, want %v", sets, want)
+	}
+	greedy := g.GreedyFixSet()
+	if len(greedy) != 1 {
+		t.Fatalf("greedy = %v", greedy)
+	}
+}
+
+func TestOptionWTPromotion(t *testing.T) {
+	progs := smallBankPrograms()
+	g := MustNew(progs...)
+	fixed, mods, err := Neutralize(progs, g.Edge("WC", "TS"), PromoteUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one modification: an identity write on Saving in WC.
+	if len(mods) != 1 || mods[0].Program != "WC" || mods[0].Add.Table != "Saving" || mods[0].Add.Kind != Write {
+		t.Fatalf("mods = %+v", mods)
+	}
+	g2 := MustNew(fixed...)
+	if !g2.IsSafe() {
+		t.Fatal("PromoteWT-upd must make the mix safe")
+	}
+	// Balance stays read-only under Option WT (paper Table I).
+	for _, p := range fixed {
+		if p.Name == "Bal" && !p.ReadOnly() {
+			t.Fatal("Option WT must not touch Balance")
+		}
+	}
+	// WC->TS edge is no longer vulnerable but still exists (now ww too).
+	if e := g2.Edge("WC", "TS"); e == nil || e.Vulnerable {
+		t.Fatalf("WC->TS after promotion: %+v", e)
+	}
+}
+
+func TestOptionWTMaterialization(t *testing.T) {
+	progs := smallBankPrograms()
+	g := MustNew(progs...)
+	fixed, mods, err := Neutralize(progs, g.Edge("WC", "TS"), Materialize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 {
+		t.Fatalf("mods = %+v", mods)
+	}
+	for _, m := range mods {
+		if m.Add.Table != ConflictTable {
+			t.Fatalf("materialization must write the %s table: %+v", ConflictTable, m)
+		}
+	}
+	g2 := MustNew(fixed...)
+	if !g2.IsSafe() {
+		t.Fatal("MaterializeWT must make the mix safe")
+	}
+}
+
+func TestOptionBWPromotion(t *testing.T) {
+	progs := smallBankPrograms()
+	g := MustNew(progs...)
+	fixed, mods, err := Neutralize(progs, g.Edge("Bal", "WC"), PromoteUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One identity update on Checking in Bal.
+	if len(mods) != 1 || mods[0].Program != "Bal" || mods[0].Add.Table != "Checking" {
+		t.Fatalf("mods = %+v", mods)
+	}
+	g2 := MustNew(fixed...)
+	if !g2.IsSafe() {
+		t.Fatal("PromoteBW-upd must make the mix safe")
+	}
+	// The paper's Fig 3(b): Balance's other outgoing edges change too —
+	// Bal->DC and Bal->Amg become non-vulnerable, Bal->TS stays
+	// vulnerable (but is harmless: TS has no vulnerable out-edge).
+	if e := g2.Edge("Bal", "DC"); e == nil || e.Vulnerable {
+		t.Fatalf("Bal->DC after BW promotion: %+v", e)
+	}
+	if e := g2.Edge("Bal", "Amg"); e == nil || e.Vulnerable {
+		t.Fatalf("Bal->Amg after BW promotion: %+v", e)
+	}
+	if e := g2.Edge("Bal", "TS"); e == nil || !e.Vulnerable {
+		t.Fatalf("Bal->TS after BW promotion: %+v", e)
+	}
+	// Balance is no longer read-only.
+	for _, p := range fixed {
+		if p.Name == "Bal" && p.ReadOnly() {
+			t.Fatal("Option BW turns Balance into an updater")
+		}
+	}
+}
+
+func TestOptionBWMaterialization(t *testing.T) {
+	progs := smallBankPrograms()
+	g := MustNew(progs...)
+	fixed, _, err := Neutralize(progs, g.Edge("Bal", "WC"), Materialize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := MustNew(fixed...)
+	if !g2.IsSafe() {
+		t.Fatal("MaterializeBW must make the mix safe")
+	}
+	// Unlike promotion, materializing BW leaves Bal->DC vulnerable (DC
+	// does not write Conflict); safety comes from DC having no
+	// vulnerable out-edge.
+	if e := g2.Edge("Bal", "DC"); e == nil || !e.Vulnerable {
+		t.Fatalf("Bal->DC after BW materialization: %+v", e)
+	}
+}
+
+func TestNeutralizeAllMatchesTable1(t *testing.T) {
+	progs := smallBankPrograms()
+
+	// MaterializeALL: a Conflict write in every program; Amg gets two.
+	matAll, mods, err := NeutralizeAll(progs, Materialize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustNew(matAll...)
+	if !g.IsSafe() || len(g.VulnerableEdges()) != 0 {
+		t.Fatal("MaterializeALL must remove every vulnerable edge")
+	}
+	conflictWrites := map[string]int{}
+	for _, p := range matAll {
+		for _, a := range p.Writes() {
+			if a.Table == ConflictTable {
+				conflictWrites[p.Name]++
+			}
+		}
+	}
+	want := map[string]int{"Bal": 1, "DC": 1, "TS": 1, "WC": 1, "Amg": 2}
+	if !reflect.DeepEqual(conflictWrites, want) {
+		t.Fatalf("conflict writes = %v, want %v (mods %+v)", conflictWrites, want, mods)
+	}
+
+	// PromoteALL: identity updates on Saving+Checking in Bal, Saving in
+	// WC; others untouched.
+	promAll, _, err := NeutralizeAll(progs, PromoteUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := MustNew(promAll...)
+	if !g2.IsSafe() || len(g2.VulnerableEdges()) != 0 {
+		t.Fatal("PromoteALL must remove every vulnerable edge")
+	}
+	byName := map[string]*Program{}
+	for _, p := range promAll {
+		byName[p.Name] = p
+	}
+	if got := byName["Bal"].TablesWritten(); !reflect.DeepEqual(got, []string{"Checking", "Saving"}) {
+		t.Fatalf("PromoteALL Bal writes %v", got)
+	}
+	if got := byName["WC"].TablesWritten(); !reflect.DeepEqual(got, []string{"Checking", "Saving"}) {
+		t.Fatalf("PromoteALL WC writes %v", got)
+	}
+	for _, n := range []string{"DC", "TS", "Amg"} {
+		orig := MustNew(progs...).Program(n).TablesWritten()
+		if got := byName[n].TablesWritten(); !reflect.DeepEqual(got, orig) {
+			t.Fatalf("PromoteALL modified %s: %v", n, got)
+		}
+	}
+}
+
+func TestPromoteSFUSoundness(t *testing.T) {
+	if PromoteSFU.SoundOn(core.PlatformPostgres) {
+		t.Fatal("sfu promotion is not sound on PostgreSQL (§II-C)")
+	}
+	if !PromoteSFU.SoundOn(core.PlatformCommercial) {
+		t.Fatal("sfu promotion is sound on the commercial platform")
+	}
+	if !Materialize.SoundOn(core.PlatformPostgres) || !PromoteUpdate.SoundOn(core.PlatformCommercial) {
+		t.Fatal("materialize/promote-upd are sound everywhere")
+	}
+}
+
+func TestPromotionRejectedForPredicateReads(t *testing.T) {
+	p := &Program{Name: "P", Accesses: []Access{
+		{Table: "T", Cols: []string{"V"}, Param: "x", Kind: PredRead},
+	}}
+	q := &Program{Name: "Q", Accesses: []Access{
+		{Table: "T", Cols: []string{"V"}, Param: "y", Kind: Write},
+		{Table: "U", Cols: []string{"V"}, Param: "y", Kind: Read},
+	}}
+	g := MustNew(p, q)
+	e := g.Edge("P", "Q")
+	if e == nil || !e.Vulnerable {
+		t.Fatal("setup: P->Q should be vulnerable")
+	}
+	if _, _, err := Neutralize([]*Program{p, q}, e, PromoteUpdate); err == nil {
+		t.Fatal("promotion against a predicate read must be rejected")
+	}
+	if _, _, err := Neutralize([]*Program{p, q}, e, Materialize); err != nil {
+		t.Fatalf("materialization must handle predicate reads: %v", err)
+	}
+}
+
+func TestMaterializeFixedRowCausesCrossParameterConflicts(t *testing.T) {
+	progs := smallBankPrograms()
+	g := MustNew(progs...)
+	fixed, mods, err := MaterializeFixedRow(progs, g.Edge("WC", "TS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 {
+		t.Fatalf("mods = %+v", mods)
+	}
+	g2 := MustNew(fixed...)
+	if !g2.IsSafe() {
+		t.Fatal("fixed-row materialization must still be safe")
+	}
+	// The fixed row makes ALL instances of WC and TS conflict, even for
+	// different customers — visible as a ww conflict between the two
+	// programs' fixed accesses.
+	e := g2.Edge("WC", "TS")
+	foundFixedWW := false
+	for _, c := range e.Conflicts {
+		if c.Type == WW {
+			a := g2.Program("WC").Accesses[c.FromAccess]
+			b := g2.Program("TS").Accesses[c.ToAccess]
+			if a.Fixed && b.Fixed {
+				foundFixedWW = true
+			}
+		}
+	}
+	if !foundFixedWW {
+		t.Fatal("fixed-row ww conflict missing")
+	}
+}
+
+func TestSelfEdgeVulnerabilityPossible(t *testing.T) {
+	// A program reading A[x] and writing A[y] (different parameters) is
+	// vulnerable against itself; with a cycle it forms a dangerous
+	// structure with itself as pivot.
+	p := &Program{Name: "P", Accesses: []Access{
+		{Table: "A", Cols: []string{"V"}, Param: "x", Kind: Read},
+		{Table: "A", Cols: []string{"V"}, Param: "y", Kind: Write},
+	}}
+	g := MustNew(p)
+	e := g.Edge("P", "P")
+	if e == nil || !e.Vulnerable {
+		t.Fatalf("self-edge = %+v, want vulnerable", e)
+	}
+	if g.IsSafe() {
+		t.Fatal("self-vulnerable cycle must be dangerous")
+	}
+}
+
+func TestDuplicateProgramNamesRejected(t *testing.T) {
+	p := &Program{Name: "P"}
+	if _, err := New(p, p); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestRenderOutputs(t *testing.T) {
+	g := MustNew(smallBankPrograms()...)
+	dot := g.ToDOT("smallbank")
+	for _, want := range []string{"digraph", `"Bal" -> "WC" [style=dashed]`, `"WC" -> "TS" [style=dashed]`, "lightgrey"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	desc := g.Describe()
+	for _, want := range []string{"Dangerous structures (1):", "pivot WC", "Minimal fix sets", "Bal->WC", "WC->TS"} {
+		if !strings.Contains(desc, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+
+	// A safe mix reports that every execution is serializable.
+	safe, _, err := NeutralizeAll(smallBankPrograms(), PromoteUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(MustNew(safe...).Describe(), "serializable") {
+		t.Fatal("safe mix description missing serializability statement")
+	}
+}
+
+func TestAccessAndTechniqueStrings(t *testing.T) {
+	a := Access{Table: "Saving", Cols: []string{"Balance"}, Param: "x", Kind: Read}
+	if a.String() != "r Saving.Balance[x]" {
+		t.Fatalf("Access.String = %q", a.String())
+	}
+	f := Access{Table: "Conflict", Cols: []string{"Value"}, Param: "0", Fixed: true, Kind: Write}
+	if f.String() != "w Conflict.Value[#0]" {
+		t.Fatalf("fixed Access.String = %q", f.String())
+	}
+	if Materialize.String() != "materialize" || PromoteUpdate.String() != "promote-upd" || PromoteSFU.String() != "promote-sfu" {
+		t.Fatal("technique names changed")
+	}
+	if Read.String() != "r" || Write.String() != "w" || PredRead.String() != "pr" {
+		t.Fatal("access kind names changed")
+	}
+	if RW.String() != "rw" || WW.String() != "ww" || WR.String() != "wr" {
+		t.Fatal("conflict type names changed")
+	}
+}
+
+func TestSortModifications(t *testing.T) {
+	mods := []Modification{
+		{Program: "Z", Add: Access{Table: "B", Param: "y"}},
+		{Program: "A", Add: Access{Table: "B", Param: "x"}},
+		{Program: "A", Add: Access{Table: "A", Param: "z"}},
+	}
+	SortModifications(mods)
+	if mods[0].Program != "A" || mods[0].Add.Table != "A" || mods[2].Program != "Z" {
+		t.Fatalf("sorted = %+v", mods)
+	}
+}

@@ -1,0 +1,136 @@
+// Package simres models the server hardware of the paper's testbed as an
+// explicit, tunable resource: a pool of virtual CPUs on which transactions
+// spend a configurable service time, plus (for the commercial platform) a
+// per-active-session overhead that reproduces the peak-then-decline
+// throughput shape of §IV-F.
+//
+// The paper's absolute throughput numbers come from a 3.0 GHz Pentium IV
+// and IDE disks; we do not try to match them. What matters for the
+// reproduction is the *structure* of the costs: CPU saturation sets the
+// plateau, log fsyncs (package wal) set the low-MPL updater cost, and
+// session overhead bends the commercial platform's curve back down after
+// its knee. All three are explicit knobs here.
+package simres
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes the simulated machine. The zero value disables the
+// model entirely (no CPU charging), which is what pure engine unit tests
+// want.
+type Config struct {
+	// VirtualCPUs is the width of the CPU pool. The paper's server is a
+	// single-core Pentium IV, so experiments default to 1.
+	VirtualCPUs int
+	// TxnCPU is the base CPU service time consumed by one transaction
+	// attempt (parse/plan/execute of the stored procedure, network fold).
+	TxnCPU time.Duration
+	// StmtCPU is the additional CPU consumed per statement executed; the
+	// program-modification strategies add statements and therefore CPU.
+	StmtCPU time.Duration
+	// UpdaterCommitCPU is the extra CPU an updating transaction spends
+	// at commit (log-record construction, redo generation). Strategies
+	// that turn read-only programs into updaters pay it on every
+	// formerly-free transaction.
+	UpdaterCommitCPU time.Duration
+	// SessionKnee is the number of concurrently active sessions beyond
+	// which each additional session adds overhead to every transaction
+	// (commercial platform only; 0 disables).
+	SessionKnee int
+	// SessionOverhead is the extra CPU per transaction per active session
+	// beyond the knee.
+	SessionOverhead time.Duration
+}
+
+// Scaled returns a copy of the config with every duration multiplied by
+// f. The experiment harness uses it to trade fidelity for wall-clock time.
+func (c Config) Scaled(f float64) Config {
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * f)
+	}
+	c.TxnCPU = scale(c.TxnCPU)
+	c.StmtCPU = scale(c.StmtCPU)
+	c.UpdaterCommitCPU = scale(c.UpdaterCommitCPU)
+	c.SessionOverhead = scale(c.SessionOverhead)
+	return c
+}
+
+// Machine is the shared simulated hardware of one database instance.
+// All methods are safe for concurrent use.
+type Machine struct {
+	cfg      Config
+	cpuSlots chan struct{} // nil when the model is disabled
+	sessions atomic.Int64
+	cpuBusy  atomic.Int64 // total nanoseconds of CPU time charged
+}
+
+// New builds a Machine from a config. A zero config yields a no-op
+// machine: UseCPU returns immediately and sessions are tracked but free.
+func New(cfg Config) *Machine {
+	m := &Machine{cfg: cfg}
+	if cfg.VirtualCPUs > 0 && (cfg.TxnCPU > 0 || cfg.StmtCPU > 0 || cfg.UpdaterCommitCPU > 0 || cfg.SessionOverhead > 0) {
+		m.cpuSlots = make(chan struct{}, cfg.VirtualCPUs)
+		for i := 0; i < cfg.VirtualCPUs; i++ {
+			m.cpuSlots <- struct{}{}
+		}
+	}
+	return m
+}
+
+// Nop returns a machine with the resource model disabled.
+func Nop() *Machine { return New(Config{}) }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// EnterSession registers one client session (a workload driver thread).
+func (m *Machine) EnterSession() { m.sessions.Add(1) }
+
+// LeaveSession deregisters a client session.
+func (m *Machine) LeaveSession() { m.sessions.Add(-1) }
+
+// ActiveSessions returns the number of registered sessions.
+func (m *Machine) ActiveSessions() int { return int(m.sessions.Load()) }
+
+// TxnCost returns the CPU service time for one transaction attempt that
+// executes nStmts statements, including the commercial platform's
+// per-session overhead at the current multiprogramming level.
+func (m *Machine) TxnCost(nStmts int) time.Duration {
+	d := m.cfg.TxnCPU + time.Duration(nStmts)*m.cfg.StmtCPU
+	if m.cfg.SessionKnee > 0 && m.cfg.SessionOverhead > 0 {
+		if over := m.ActiveSessions() - m.cfg.SessionKnee; over > 0 {
+			d += time.Duration(over) * m.cfg.SessionOverhead
+		}
+	}
+	return d
+}
+
+// UseCPU occupies one virtual CPU for duration d of simulated work. It
+// blocks while all virtual CPUs are busy, which is exactly how the
+// paper's single-CPU server saturates and produces a throughput plateau.
+func (m *Machine) UseCPU(d time.Duration) {
+	if m.cpuSlots == nil || d <= 0 {
+		return
+	}
+	<-m.cpuSlots
+	spin(d)
+	m.cpuBusy.Add(int64(d))
+	m.cpuSlots <- struct{}{}
+}
+
+// CPUBusy reports the cumulative CPU time charged so far; used by tests
+// and by the harness to confirm saturation.
+func (m *Machine) CPUBusy() time.Duration { return time.Duration(m.cpuBusy.Load()) }
+
+// spin burns wall-clock time on the calling goroutine. A busy loop (not
+// time.Sleep) is used so that one virtual CPU really does correspond to
+// one core's worth of work and the semaphore enforces genuine saturation
+// at sub-millisecond service times, where sleep granularity would distort
+// the model.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,131 @@
+package simres
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNopMachineIsFree(t *testing.T) {
+	m := Nop()
+	start := time.Now()
+	m.UseCPU(time.Second) // must not actually spin
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("nop machine burned CPU")
+	}
+	if m.TxnCost(10) != 0 {
+		t.Fatalf("nop TxnCost = %v, want 0", m.TxnCost(10))
+	}
+	if m.CPUBusy() != 0 {
+		t.Fatal("nop machine accounted CPU time")
+	}
+}
+
+func TestSessionTracking(t *testing.T) {
+	m := Nop()
+	m.EnterSession()
+	m.EnterSession()
+	if m.ActiveSessions() != 2 {
+		t.Fatalf("ActiveSessions = %d, want 2", m.ActiveSessions())
+	}
+	m.LeaveSession()
+	if m.ActiveSessions() != 1 {
+		t.Fatalf("ActiveSessions = %d, want 1", m.ActiveSessions())
+	}
+}
+
+func TestTxnCostStatements(t *testing.T) {
+	m := New(Config{VirtualCPUs: 1, TxnCPU: 100 * time.Microsecond, StmtCPU: 10 * time.Microsecond})
+	if got := m.TxnCost(5); got != 150*time.Microsecond {
+		t.Fatalf("TxnCost(5) = %v, want 150µs", got)
+	}
+	if got := m.TxnCost(0); got != 100*time.Microsecond {
+		t.Fatalf("TxnCost(0) = %v, want 100µs", got)
+	}
+}
+
+func TestSessionOverheadKnee(t *testing.T) {
+	m := New(Config{
+		VirtualCPUs: 1, TxnCPU: 100 * time.Microsecond,
+		SessionKnee: 2, SessionOverhead: 10 * time.Microsecond,
+	})
+	for i := 0; i < 2; i++ {
+		m.EnterSession()
+	}
+	if got := m.TxnCost(0); got != 100*time.Microsecond {
+		t.Fatalf("at the knee TxnCost = %v, want no overhead", got)
+	}
+	for i := 0; i < 3; i++ {
+		m.EnterSession()
+	}
+	// 5 sessions, knee 2 => 3 sessions over => +30µs.
+	if got := m.TxnCost(0); got != 130*time.Microsecond {
+		t.Fatalf("over the knee TxnCost = %v, want 130µs", got)
+	}
+}
+
+func TestUseCPUTakesTime(t *testing.T) {
+	m := New(Config{VirtualCPUs: 1, TxnCPU: time.Millisecond})
+	start := time.Now()
+	m.UseCPU(2 * time.Millisecond)
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("UseCPU(2ms) returned after %v", el)
+	}
+	if m.CPUBusy() != 2*time.Millisecond {
+		t.Fatalf("CPUBusy = %v, want 2ms", m.CPUBusy())
+	}
+}
+
+func TestCPUSaturationSerializes(t *testing.T) {
+	// One virtual CPU, 4 goroutines each wanting 5ms: total wall time
+	// must be at least 20ms because the slot serializes them.
+	m := New(Config{VirtualCPUs: 1, TxnCPU: time.Millisecond})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.UseCPU(5 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("4x5ms on one virtual CPU finished in %v; pool not serializing", el)
+	}
+}
+
+func TestTwoVirtualCPUsOverlap(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("needs two real cores: virtual CPUs busy-spin")
+	}
+	m := New(Config{VirtualCPUs: 2, TxnCPU: time.Millisecond})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.UseCPU(10 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	// Two slots: both should run concurrently, well under the serial 20ms.
+	if el := time.Since(start); el > 18*time.Millisecond {
+		t.Fatalf("2x10ms on two virtual CPUs took %v; expected overlap", el)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := Config{
+		VirtualCPUs: 1, TxnCPU: 100 * time.Microsecond,
+		StmtCPU: 10 * time.Microsecond, SessionOverhead: 20 * time.Microsecond,
+	}.Scaled(2)
+	if c.TxnCPU != 200*time.Microsecond || c.StmtCPU != 20*time.Microsecond || c.SessionOverhead != 40*time.Microsecond {
+		t.Fatalf("Scaled(2) = %+v", c)
+	}
+	if c.VirtualCPUs != 1 {
+		t.Fatal("Scaled must not change CPU count")
+	}
+}

@@ -1,0 +1,196 @@
+// Package smallbank implements the paper's §III benchmark: a small
+// banking database with customers holding a savings and a checking
+// account, five transaction programs (Balance, DepositChecking,
+// TransactSaving, Amalgamate, WriteCheck), and the eight
+// program-modification strategies of §III-D that guarantee serializable
+// execution on snapshot-isolation platforms.
+package smallbank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+)
+
+// Table names.
+const (
+	TableAccount  = "Account"
+	TableSaving   = "Saving"
+	TableChecking = "Checking"
+	// TableConflict is the dedicated materialization table of §II-B; it
+	// is "not used elsewhere in the application".
+	TableConflict = "Conflict"
+)
+
+// AccountSchema is Account(Name, CustomerID): primary key Name, with a
+// DBMS-enforced non-null unique constraint on CustomerID (§III-A).
+func AccountSchema() *core.Schema {
+	return &core.Schema{
+		Name: TableAccount,
+		Columns: []core.Column{
+			{Name: "Name", Kind: core.KindString, NotNull: true},
+			{Name: "CustomerID", Kind: core.KindInt, NotNull: true},
+		},
+		PK:     0,
+		Unique: []int{1},
+	}
+}
+
+// SavingSchema is Saving(CustomerID, Balance).
+func SavingSchema() *core.Schema {
+	return &core.Schema{
+		Name: TableSaving,
+		Columns: []core.Column{
+			{Name: "CustomerID", Kind: core.KindInt, NotNull: true},
+			{Name: "Balance", Kind: core.KindInt, NotNull: true},
+		},
+		PK: 0,
+	}
+}
+
+// CheckingSchema is Checking(CustomerID, Balance).
+func CheckingSchema() *core.Schema {
+	return &core.Schema{
+		Name: TableChecking,
+		Columns: []core.Column{
+			{Name: "CustomerID", Kind: core.KindInt, NotNull: true},
+			{Name: "Balance", Kind: core.KindInt, NotNull: true},
+		},
+		PK: 0,
+	}
+}
+
+// ConflictSchema is Conflict(Id, Value), initialized with one row per
+// customer (plus the fixed row 0 for the single-row ablation) so the
+// materialized programs can use a plain UPDATE (§III-D(a)).
+func ConflictSchema() *core.Schema {
+	return &core.Schema{
+		Name: TableConflict,
+		Columns: []core.Column{
+			{Name: "Id", Kind: core.KindInt, NotNull: true},
+			{Name: "Value", Kind: core.KindInt, NotNull: true},
+		},
+		PK: 0,
+	}
+}
+
+// CustomerName renders the account name of customer i, the benchmark's
+// parameter space.
+func CustomerName(i int) string { return fmt.Sprintf("cust%07d", i) }
+
+// FixedConflictID keys the single shared Conflict row used by the
+// fixed-row materialization ablation (§II-B's "simplest approach");
+// customer ids are non-negative, so -1 never collides.
+const FixedConflictID = int64(-1)
+
+// LoadConfig parameterizes the initial database population.
+type LoadConfig struct {
+	// Customers is the table size; the paper uses 18000.
+	Customers int
+	// Seed drives the random initial balances.
+	Seed int64
+	// MinSaving/MaxSaving and MinChecking/MaxChecking bound the initial
+	// balances in cents. Zero values select the defaults.
+	MinSaving, MaxSaving     int64
+	MinChecking, MaxChecking int64
+	// BatchSize is the number of customers inserted per load
+	// transaction (default 1000).
+	BatchSize int
+}
+
+func (c *LoadConfig) defaults() {
+	if c.Customers == 0 {
+		c.Customers = 18000
+	}
+	if c.MaxSaving == 0 {
+		c.MinSaving, c.MaxSaving = 100_00, 500_00
+	}
+	if c.MaxChecking == 0 {
+		c.MinChecking, c.MaxChecking = 50_00, 200_00
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1000
+	}
+}
+
+// CreateSchema declares the four benchmark tables on db.
+func CreateSchema(db *engine.DB) error {
+	for _, s := range []*core.Schema{AccountSchema(), SavingSchema(), CheckingSchema(), ConflictSchema()} {
+		if err := db.CreateTable(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load populates the database: cfg.Customers accounts with randomly
+// generated balances (§IV), one Conflict row per customer and the fixed
+// Conflict row 0. It returns the total money loaded (savings plus
+// checking), which invariant checks use.
+func Load(db *engine.DB, cfg LoadConfig) (total int64, err error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// The fixed conflict row for the single-row materialization ablation.
+	tx := db.Begin()
+	if err := tx.Insert(TableConflict, core.Record{core.Int(FixedConflictID), core.Int(0)}); err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+
+	for start := 0; start < cfg.Customers; start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > cfg.Customers {
+			end = cfg.Customers
+		}
+		tx := db.Begin()
+		for i := start; i < end; i++ {
+			sav := cfg.MinSaving + rng.Int63n(cfg.MaxSaving-cfg.MinSaving+1)
+			chk := cfg.MinChecking + rng.Int63n(cfg.MaxChecking-cfg.MinChecking+1)
+			total += sav + chk
+			id := int64(i)
+			if err := tx.Insert(TableAccount, core.Record{core.Str(CustomerName(i)), core.Int(id)}); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			if err := tx.Insert(TableSaving, core.Record{core.Int(id), core.Int(sav)}); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			if err := tx.Insert(TableChecking, core.Record{core.Int(id), core.Int(chk)}); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			if err := tx.Insert(TableConflict, core.Record{core.Int(id), core.Int(0)}); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// TotalMoney sums every savings and checking balance of the latest
+// committed state; used by conservation invariants (WriteCheck's
+// overdraft penalty burns money, so tests account for penalties
+// explicitly).
+func TotalMoney(db *engine.DB) (int64, error) {
+	var total int64
+	for _, t := range []string{TableSaving, TableChecking} {
+		if err := db.ScanLatest(t, func(_ core.Value, rec core.Record) bool {
+			total += rec[1].Int64()
+			return true
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}

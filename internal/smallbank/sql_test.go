@@ -1,0 +1,131 @@
+package smallbank
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+)
+
+// TestSQLAndNativeEquivalence runs the same randomized operation
+// sequence through Run (native API) and RunSQL (the paper's SQL via
+// sqlmini) on twin databases and asserts identical final states —
+// including identical application-rollback decisions.
+func TestSQLAndNativeEquivalence(t *testing.T) {
+	for _, s := range []*Strategy{StrategySI, StrategyPromoteWTUpd, StrategyMaterializeALL} {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			native := testDB(t, core.SnapshotFUW, core.PlatformPostgres)
+			viaSQL := testDB(t, core.SnapshotFUW, core.PlatformPostgres)
+
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 200; i++ {
+				typ := TxnType(rng.Intn(NumTxnTypes))
+				n1 := rng.Intn(10)
+				n2 := (n1 + 1 + rng.Intn(9)) % 10
+				p := Params{
+					N1: CustomerName(n1),
+					N2: CustomerName(n2),
+					V:  rng.Int63n(400) - 100,
+				}
+				errA := Run(native, s, typ, p)
+				errB := RunSQL(viaSQL, s, typ, p)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("op %d %v(%+v): native err %v, sql err %v", i, typ, p, errA, errB)
+				}
+				if errA != nil && !errors.Is(errA, core.ErrRollback) {
+					t.Fatalf("unexpected native error: %v", errA)
+				}
+				if errB != nil && !errors.Is(errB, core.ErrRollback) {
+					t.Fatalf("unexpected sql error: %v", errB)
+				}
+			}
+
+			for _, table := range []string{TableSaving, TableChecking, TableConflict} {
+				stateA := dumpTable(t, native, table)
+				stateB := dumpTable(t, viaSQL, table)
+				if len(stateA) != len(stateB) {
+					t.Fatalf("%s: %d vs %d rows", table, len(stateA), len(stateB))
+				}
+				for k, v := range stateA {
+					if stateB[k] != v {
+						t.Fatalf("%s[%d]: native %d, sql %d", table, k, v, stateB[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func dumpTable(t *testing.T, db *engine.DB, table string) map[int64]int64 {
+	t.Helper()
+	out := map[int64]int64{}
+	if err := db.ScanLatest(table, func(k core.Value, rec core.Record) bool {
+		out[k.Int64()] = rec[1].Int64()
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSQLWriteCheckIsProgram1 pins the overdraft-penalty semantics of
+// the paper's Program 1 through the SQL path.
+func TestSQLWriteCheckIsProgram1(t *testing.T) {
+	db := testDB(t, core.SnapshotFUW, core.PlatformPostgres)
+	// Customer 0: saving 1000, checking 500. A 1200 check is covered
+	// (total 1500): no penalty.
+	if err := RunSQL(db, StrategySI, WriteCheck, Params{N1: CustomerName(0), V: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, chk := balanceOf(t, db, 0); chk != 500-1200 {
+		t.Fatalf("covered check: %d", chk)
+	}
+	// Customer 1: a 2000 check is not covered: one-cent penalty.
+	if err := RunSQL(db, StrategySI, WriteCheck, Params{N1: CustomerName(1), V: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, chk := balanceOf(t, db, 1); chk != 500-2001 {
+		t.Fatalf("overdraft check: %d", chk)
+	}
+}
+
+// TestSQLStrategySemantics: the SQL-path strategies preserve the
+// concurrency behaviour — the dangerous interleaving conflicts under a
+// repair, exactly as with the native API.
+func TestSQLStrategySemantics(t *testing.T) {
+	db := testDB(t, core.SnapshotFUW, core.PlatformPostgres)
+	name := CustomerName(0)
+
+	// WC begins first (old snapshot) — driven natively to hold the
+	// transaction open, while TS runs via SQL.
+	wcTx := db.Begin()
+	if err := RunSQL(db, StrategyPromoteWTUpd, TransactSaving, Params{N1: name, V: 500}); err != nil {
+		t.Fatal(err)
+	}
+	err := RunWriteCheck(wcTx, StrategyPromoteWTUpd, Params{N1: name, V: 100})
+	if !errors.Is(err, core.ErrSerialization) {
+		t.Fatalf("promoted WC vs committed TS: %v", err)
+	}
+	wcTx.Abort()
+}
+
+// TestSQLRollbacks: the SQL programs reproduce the paper's rollback
+// rules.
+func TestSQLRollbacks(t *testing.T) {
+	db := testDB(t, core.SnapshotFUW, core.PlatformPostgres)
+	if err := RunSQL(db, StrategySI, DepositChecking, Params{N1: CustomerName(0), V: -1}); !errors.Is(err, core.ErrRollback) {
+		t.Fatalf("negative deposit: %v", err)
+	}
+	if err := RunSQL(db, StrategySI, TransactSaving, Params{N1: CustomerName(0), V: -5000}); !errors.Is(err, core.ErrRollback) {
+		t.Fatalf("overdraw savings: %v", err)
+	}
+	if err := RunSQL(db, StrategySI, Balance, Params{N1: "ghost"}); !errors.Is(err, core.ErrRollback) {
+		t.Fatalf("unknown customer: %v", err)
+	}
+	if err := RunSQL(db, StrategySI, TxnType(99), Params{}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}

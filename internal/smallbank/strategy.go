@@ -1,0 +1,254 @@
+package smallbank
+
+import (
+	"fmt"
+	"sort"
+
+	"sicost/internal/core"
+	"sicost/internal/sdg"
+)
+
+// Strategy selects one of the paper's program-modification schemes. The
+// boolean fields are the concrete decorations the transaction programs
+// apply; the SDG derivation of each strategy lives in SDGPrograms.
+type Strategy struct {
+	Name string
+
+	// Balance decorations (Option BW and the ALL strategies).
+	BalConflict        bool // MaterializeBW / MaterializeALL
+	BalPromoteChecking bool // PromoteBW-upd / PromoteALL
+	BalPromoteSaving   bool // PromoteALL
+	BalSFUChecking     bool // PromoteBW-sfu (commercial only)
+
+	// WriteCheck decorations (Option WT, Option BW and ALL).
+	WCConflict      bool // MaterializeWT / MaterializeBW / MaterializeALL
+	WCPromoteSaving bool // PromoteWT-upd / PromoteALL
+	WCSFUSaving     bool // PromoteWT-sfu (commercial only)
+
+	// Other programs (ALL strategies only).
+	TSConflict  bool
+	DCConflict  bool
+	AmgConflict bool // Amalgamate updates Conflict rows for both customers
+
+	// FixedConflictRow redirects every Conflict update to the single
+	// shared row (the §II-B "simplest approach" ablation).
+	FixedConflictRow bool
+}
+
+// The strategies evaluated in the paper (§III-D, Table I), plus the base
+// SI configuration and the fixed-row ablation.
+var (
+	// StrategySI is unmodified SmallBank: fast but admits
+	// non-serializable executions (the dangerous structure Bal→WC→TS).
+	StrategySI = &Strategy{Name: "SI"}
+
+	// StrategyMaterializeWT materializes the WriteCheck→TransactSaving
+	// edge: Conflict updates in WC and TS.
+	StrategyMaterializeWT = &Strategy{Name: "MaterializeWT", WCConflict: true, TSConflict: true}
+
+	// StrategyPromoteWTUpd promotes the WT edge with an identity update
+	// on Saving in WriteCheck.
+	StrategyPromoteWTUpd = &Strategy{Name: "PromoteWT-upd", WCPromoteSaving: true}
+
+	// StrategyPromoteWTSfu promotes the WT edge by reading Saving with
+	// SELECT...FOR UPDATE in WriteCheck (commercial platform only).
+	StrategyPromoteWTSfu = &Strategy{Name: "PromoteWT-sfu", WCSFUSaving: true}
+
+	// StrategyMaterializeBW materializes the Balance→WriteCheck edge:
+	// Conflict updates in Bal and WC.
+	StrategyMaterializeBW = &Strategy{Name: "MaterializeBW", BalConflict: true, WCConflict: true}
+
+	// StrategyPromoteBWUpd promotes the BW edge with an identity update
+	// on Checking in Balance.
+	StrategyPromoteBWUpd = &Strategy{Name: "PromoteBW-upd", BalPromoteChecking: true}
+
+	// StrategyPromoteBWSfu promotes the BW edge by reading Checking with
+	// SELECT...FOR UPDATE in Balance (commercial platform only).
+	StrategyPromoteBWSfu = &Strategy{Name: "PromoteBW-sfu", BalSFUChecking: true}
+
+	// StrategyMaterializeALL materializes every vulnerable edge without
+	// SDG analysis: a Conflict update in every program, two in
+	// Amalgamate.
+	StrategyMaterializeALL = &Strategy{
+		Name: "MaterializeALL", BalConflict: true, WCConflict: true,
+		TSConflict: true, DCConflict: true, AmgConflict: true,
+	}
+
+	// StrategyPromoteALL promotes every vulnerable edge: identity
+	// updates on Saving and Checking in Balance and on Saving in
+	// WriteCheck.
+	StrategyPromoteALL = &Strategy{
+		Name: "PromoteALL", BalPromoteChecking: true, BalPromoteSaving: true,
+		WCPromoteSaving: true,
+	}
+
+	// StrategyMaterializeWTFixed is the single-conflict-row ablation of
+	// MaterializeWT: correct, but contends on one row for all customers.
+	StrategyMaterializeWTFixed = &Strategy{
+		Name: "MaterializeWT-fixed", WCConflict: true, TSConflict: true,
+		FixedConflictRow: true,
+	}
+)
+
+// Strategies lists every predefined strategy in presentation order.
+func Strategies() []*Strategy {
+	return []*Strategy{
+		StrategySI,
+		StrategyMaterializeWT, StrategyPromoteWTUpd, StrategyPromoteWTSfu,
+		StrategyMaterializeBW, StrategyPromoteBWUpd, StrategyPromoteBWSfu,
+		StrategyMaterializeALL, StrategyPromoteALL,
+		StrategyMaterializeWTFixed,
+	}
+}
+
+// ByName resolves a strategy by its display name.
+func ByName(name string) (*Strategy, error) {
+	for _, s := range Strategies() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("smallbank: unknown strategy %q", name)
+}
+
+// SoundOn reports whether the strategy guarantees serializable
+// executions on the given platform. The sfu promotions rely on
+// select-for-update participating in write-conflict detection, which
+// PostgreSQL's implementation does not provide (§II-C).
+func (s *Strategy) SoundOn(p core.Platform) bool {
+	if s == StrategySI || s.Name == "SI" {
+		return false // not a serializability guarantee at all
+	}
+	if s.BalSFUChecking || s.WCSFUSaving {
+		return p == core.PlatformCommercial
+	}
+	return true
+}
+
+// GuaranteesSerializable reports whether the strategy is one of the
+// repair schemes (anything but plain SI).
+func (s *Strategy) GuaranteesSerializable() bool { return s.Name != "SI" }
+
+// ExtraUpdates summarises, per transaction type, which tables receive
+// additional updates under this strategy — the rows of the paper's
+// Table I. Select-for-update entries are marked "(sfu)".
+func (s *Strategy) ExtraUpdates() map[string][]string {
+	out := map[string][]string{}
+	add := func(txn, table string) { out[txn] = append(out[txn], table) }
+	if s.BalConflict {
+		add("Bal", "Conf")
+	}
+	if s.BalPromoteSaving {
+		add("Bal", "Sav")
+	}
+	if s.BalPromoteChecking {
+		add("Bal", "Check")
+	}
+	if s.BalSFUChecking {
+		add("Bal", "Check(sfu)")
+	}
+	if s.WCConflict {
+		add("WC", "Conf")
+	}
+	if s.WCPromoteSaving {
+		add("WC", "Sav")
+	}
+	if s.WCSFUSaving {
+		add("WC", "Sav(sfu)")
+	}
+	if s.TSConflict {
+		add("TS", "Conf")
+	}
+	if s.DCConflict {
+		add("DC", "Conf")
+	}
+	if s.AmgConflict {
+		add("Amg", "Conf×2")
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out
+}
+
+// BasePrograms returns the unmodified SmallBank mix in the SDG model,
+// exactly as analysed in §III-C / Figure 1.
+func BasePrograms() []*sdg.Program {
+	bal := &sdg.Program{Name: "Bal", Accesses: []sdg.Access{
+		{Table: TableAccount, Cols: []string{"CustomerID"}, Param: "N", Kind: sdg.Read},
+		{Table: TableSaving, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Read},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Read},
+	}}
+	dc := &sdg.Program{Name: "DC", Accesses: []sdg.Access{
+		{Table: TableAccount, Cols: []string{"CustomerID"}, Param: "N", Kind: sdg.Read},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Read},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Write},
+	}}
+	ts := &sdg.Program{Name: "TS", Accesses: []sdg.Access{
+		{Table: TableAccount, Cols: []string{"CustomerID"}, Param: "N", Kind: sdg.Read},
+		{Table: TableSaving, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Read},
+		{Table: TableSaving, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Write},
+	}}
+	amg := &sdg.Program{Name: "Amg", Accesses: []sdg.Access{
+		{Table: TableAccount, Cols: []string{"CustomerID"}, Param: "N1", Kind: sdg.Read},
+		{Table: TableAccount, Cols: []string{"CustomerID"}, Param: "N2", Kind: sdg.Read},
+		{Table: TableSaving, Cols: []string{"Balance"}, Param: "x1", Kind: sdg.Read},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x1", Kind: sdg.Read},
+		{Table: TableSaving, Cols: []string{"Balance"}, Param: "x1", Kind: sdg.Write},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x1", Kind: sdg.Write},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x2", Kind: sdg.Read},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x2", Kind: sdg.Write},
+	}}
+	wc := &sdg.Program{Name: "WC", Accesses: []sdg.Access{
+		{Table: TableAccount, Cols: []string{"CustomerID"}, Param: "N", Kind: sdg.Read},
+		{Table: TableSaving, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Read},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Read},
+		{Table: TableChecking, Cols: []string{"Balance"}, Param: "x", Kind: sdg.Write},
+	}}
+	return []*sdg.Program{bal, dc, ts, amg, wc}
+}
+
+// SDGPrograms derives the strategy's program mix in the SDG model by
+// applying the corresponding repair to the base mix. It ties the
+// concrete decorations to the theory: tests assert that every strategy's
+// derived SDG is safe (and that plain SI's is not).
+func (s *Strategy) SDGPrograms() ([]*sdg.Program, error) {
+	base := BasePrograms()
+	g, err := sdg.New(base...)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Name {
+	case "SI":
+		return base, nil
+	case "MaterializeWT":
+		out, _, err := sdg.Neutralize(base, g.Edge("WC", "TS"), sdg.Materialize)
+		return out, err
+	case "PromoteWT-upd":
+		out, _, err := sdg.Neutralize(base, g.Edge("WC", "TS"), sdg.PromoteUpdate)
+		return out, err
+	case "PromoteWT-sfu":
+		out, _, err := sdg.Neutralize(base, g.Edge("WC", "TS"), sdg.PromoteSFU)
+		return out, err
+	case "MaterializeBW":
+		out, _, err := sdg.Neutralize(base, g.Edge("Bal", "WC"), sdg.Materialize)
+		return out, err
+	case "PromoteBW-upd":
+		out, _, err := sdg.Neutralize(base, g.Edge("Bal", "WC"), sdg.PromoteUpdate)
+		return out, err
+	case "PromoteBW-sfu":
+		out, _, err := sdg.Neutralize(base, g.Edge("Bal", "WC"), sdg.PromoteSFU)
+		return out, err
+	case "MaterializeALL":
+		out, _, err := sdg.NeutralizeAll(base, sdg.Materialize)
+		return out, err
+	case "PromoteALL":
+		out, _, err := sdg.NeutralizeAll(base, sdg.PromoteUpdate)
+		return out, err
+	case "MaterializeWT-fixed":
+		out, _, err := sdg.MaterializeFixedRow(base, g.Edge("WC", "TS"))
+		return out, err
+	default:
+		return nil, fmt.Errorf("smallbank: no SDG derivation for strategy %q", s.Name)
+	}
+}

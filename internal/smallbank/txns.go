@@ -1,0 +1,323 @@
+package smallbank
+
+import (
+	"errors"
+	"fmt"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+)
+
+// TxnType identifies one of the five benchmark programs.
+type TxnType uint8
+
+// The five SmallBank transaction programs (§III-B).
+const (
+	Balance TxnType = iota
+	DepositChecking
+	TransactSaving
+	Amalgamate
+	WriteCheck
+	numTxnTypes
+)
+
+// NumTxnTypes is the number of transaction programs.
+const NumTxnTypes = int(numTxnTypes)
+
+// String names the program the way the paper's figures do.
+func (t TxnType) String() string {
+	switch t {
+	case Balance:
+		return "Balance"
+	case DepositChecking:
+		return "DepositChecking"
+	case TransactSaving:
+		return "TransactSaving"
+	case Amalgamate:
+		return "Amalgamate"
+	case WriteCheck:
+		return "WriteCheck"
+	default:
+		return fmt.Sprintf("txn(%d)", uint8(t))
+	}
+}
+
+// Short returns the paper's abbreviation (Bal, DC, TS, Amg, WC).
+func (t TxnType) Short() string {
+	switch t {
+	case Balance:
+		return "Bal"
+	case DepositChecking:
+		return "DC"
+	case TransactSaving:
+		return "TS"
+	case Amalgamate:
+		return "Amg"
+	case WriteCheck:
+		return "WC"
+	default:
+		return "?"
+	}
+}
+
+// Params carries a transaction invocation's arguments: customer name(s)
+// and an amount in cents.
+type Params struct {
+	N1, N2 string
+	V      int64
+}
+
+// lookupCustomer resolves a customer name to its CustomerID via the
+// Account table (the "SELECT CustomerId FROM Account WHERE Name=:N" that
+// opens every program).
+func lookupCustomer(tx *engine.Tx, name string) (int64, error) {
+	rec, err := tx.Get(TableAccount, core.Str(name))
+	if err != nil {
+		if errors.Is(err, core.ErrNotFound) {
+			return 0, fmt.Errorf("%w: unknown customer %q", core.ErrRollback, name)
+		}
+		return 0, err
+	}
+	return rec[1].Int64(), nil
+}
+
+// touchConflict performs the materialization statement
+//
+//	UPDATE Conflict SET Value = Value+1 WHERE Id = :x
+//
+// charging the platform's materialization penalty.
+func touchConflict(tx *engine.Tx, s *Strategy, cust int64) error {
+	id := cust
+	if s.FixedConflictRow {
+		id = FixedConflictID
+	}
+	rec, err := tx.Get(TableConflict, core.Int(id))
+	if err != nil {
+		return err
+	}
+	tx.Charge(tx.Cost().MaterializeWrite)
+	return tx.Update(TableConflict, core.Int(id),
+		core.Record{core.Int(id), core.Int(rec[1].Int64() + 1)})
+}
+
+// identityUpdate performs the promotion statement
+//
+//	UPDATE <table> SET Balance = Balance WHERE CustomerID = :x
+//
+// charging the platform's promotion penalty. The write changes nothing
+// but participates fully in write-conflict detection.
+func identityUpdate(tx *engine.Tx, table string, cust int64) error {
+	rec, err := tx.Get(table, core.Int(cust))
+	if err != nil {
+		return err
+	}
+	tx.Charge(tx.Cost().PromoteUpdate)
+	return tx.Update(table, core.Int(cust), rec.Clone())
+}
+
+// readBalance reads a Balance column, optionally via select-for-update
+// (the commercial platform's promotion flavour).
+func readBalance(tx *engine.Tx, table string, cust int64, sfu bool) (int64, error) {
+	var rec core.Record
+	var err error
+	if sfu {
+		tx.Charge(tx.Cost().SelectForUpdate)
+		rec, err = tx.ReadForUpdate(table, core.Int(cust))
+	} else {
+		rec, err = tx.Get(table, core.Int(cust))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return rec[1].Int64(), nil
+}
+
+// RunBalance executes Bal(N): return the customer's total balance
+// (§III-B). Strategy decorations can add identity updates,
+// select-for-updates or a Conflict update, turning the naturally
+// read-only program into an updater (Table I).
+func RunBalance(tx *engine.Tx, s *Strategy, p Params) (int64, error) {
+	cust, err := lookupCustomer(tx, p.N1)
+	if err != nil {
+		return 0, err
+	}
+	a, err := readBalance(tx, TableSaving, cust, false)
+	if err != nil {
+		return 0, err
+	}
+	b, err := readBalance(tx, TableChecking, cust, s.BalSFUChecking)
+	if err != nil {
+		return 0, err
+	}
+	if s.BalPromoteSaving {
+		if err := identityUpdate(tx, TableSaving, cust); err != nil {
+			return 0, err
+		}
+	}
+	if s.BalPromoteChecking {
+		if err := identityUpdate(tx, TableChecking, cust); err != nil {
+			return 0, err
+		}
+	}
+	if s.BalConflict {
+		if err := touchConflict(tx, s, cust); err != nil {
+			return 0, err
+		}
+	}
+	return a + b, nil
+}
+
+// RunDepositChecking executes DC(N,V): increase the checking balance by
+// V; negative amounts and unknown names roll back (§III-B).
+func RunDepositChecking(tx *engine.Tx, s *Strategy, p Params) error {
+	if p.V < 0 {
+		return fmt.Errorf("%w: negative deposit %d", core.ErrRollback, p.V)
+	}
+	cust, err := lookupCustomer(tx, p.N1)
+	if err != nil {
+		return err
+	}
+	bal, err := readBalance(tx, TableChecking, cust, false)
+	if err != nil {
+		return err
+	}
+	if err := tx.Update(TableChecking, core.Int(cust),
+		core.Record{core.Int(cust), core.Int(bal + p.V)}); err != nil {
+		return err
+	}
+	if s.DCConflict {
+		return touchConflict(tx, s, cust)
+	}
+	return nil
+}
+
+// RunTransactSaving executes TS(N,V): add V (possibly negative) to the
+// savings balance; a resulting negative balance rolls back (§III-B).
+func RunTransactSaving(tx *engine.Tx, s *Strategy, p Params) error {
+	cust, err := lookupCustomer(tx, p.N1)
+	if err != nil {
+		return err
+	}
+	bal, err := readBalance(tx, TableSaving, cust, false)
+	if err != nil {
+		return err
+	}
+	if bal+p.V < 0 {
+		return fmt.Errorf("%w: savings balance would be negative (%d%+d)", core.ErrRollback, bal, p.V)
+	}
+	if err := tx.Update(TableSaving, core.Int(cust),
+		core.Record{core.Int(cust), core.Int(bal + p.V)}); err != nil {
+		return err
+	}
+	if s.TSConflict {
+		return touchConflict(tx, s, cust)
+	}
+	return nil
+}
+
+// RunAmalgamate executes Amg(N1,N2): move all funds of customer N1 into
+// N2's checking account (§III-B).
+func RunAmalgamate(tx *engine.Tx, s *Strategy, p Params) error {
+	c1, err := lookupCustomer(tx, p.N1)
+	if err != nil {
+		return err
+	}
+	c2, err := lookupCustomer(tx, p.N2)
+	if err != nil {
+		return err
+	}
+	sav1, err := readBalance(tx, TableSaving, c1, false)
+	if err != nil {
+		return err
+	}
+	chk1, err := readBalance(tx, TableChecking, c1, false)
+	if err != nil {
+		return err
+	}
+	if err := tx.Update(TableSaving, core.Int(c1), core.Record{core.Int(c1), core.Int(0)}); err != nil {
+		return err
+	}
+	if err := tx.Update(TableChecking, core.Int(c1), core.Record{core.Int(c1), core.Int(0)}); err != nil {
+		return err
+	}
+	chk2, err := readBalance(tx, TableChecking, c2, false)
+	if err != nil {
+		return err
+	}
+	if err := tx.Update(TableChecking, core.Int(c2),
+		core.Record{core.Int(c2), core.Int(chk2 + sav1 + chk1)}); err != nil {
+		return err
+	}
+	if s.AmgConflict {
+		if err := touchConflict(tx, s, c1); err != nil {
+			return err
+		}
+		if err := touchConflict(tx, s, c2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWriteCheck executes WC(N,V) exactly as Program 1 of the paper:
+// evaluate the total balance, then decrease checking by V — or by V+1
+// (a one-cent overdraft penalty) when the total is insufficient.
+func RunWriteCheck(tx *engine.Tx, s *Strategy, p Params) error {
+	cust, err := lookupCustomer(tx, p.N1)
+	if err != nil {
+		return err
+	}
+	a, err := readBalance(tx, TableSaving, cust, s.WCSFUSaving)
+	if err != nil {
+		return err
+	}
+	b, err := readBalance(tx, TableChecking, cust, false)
+	if err != nil {
+		return err
+	}
+	amount := p.V
+	if a+b < p.V {
+		amount = p.V + 1 // overdraft penalty
+	}
+	if err := tx.Update(TableChecking, core.Int(cust),
+		core.Record{core.Int(cust), core.Int(b - amount)}); err != nil {
+		return err
+	}
+	if s.WCPromoteSaving {
+		if err := identityUpdate(tx, TableSaving, cust); err != nil {
+			return err
+		}
+	}
+	if s.WCConflict {
+		return touchConflict(tx, s, cust)
+	}
+	return nil
+}
+
+// Run executes one transaction of the given type under the strategy:
+// begin, run, commit — aborting on any error. The returned error is nil
+// on commit; retriable concurrency failures satisfy core.IsRetriable.
+func Run(db *engine.DB, s *Strategy, typ TxnType, p Params) error {
+	tx := db.Begin()
+	tx.SetTag(typ.Short())
+	var err error
+	switch typ {
+	case Balance:
+		_, err = RunBalance(tx, s, p)
+	case DepositChecking:
+		err = RunDepositChecking(tx, s, p)
+	case TransactSaving:
+		err = RunTransactSaving(tx, s, p)
+	case Amalgamate:
+		err = RunAmalgamate(tx, s, p)
+	case WriteCheck:
+		err = RunWriteCheck(tx, s, p)
+	default:
+		err = fmt.Errorf("smallbank: unknown transaction type %d", typ)
+	}
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,161 @@
+// Package sqlmini is a small SQL front-end over the engine, covering the
+// dialect the paper's SmallBank programs are written in (§III-B,
+// Program 1): single-table point SELECTs (optionally FOR UPDATE),
+// UPDATEs with arithmetic SET expressions, INSERTs and DELETEs, with
+// named parameters (:x). It exists so the benchmark programs can be
+// expressed as the SQL the paper prints, and is deliberately not a
+// general query processor: predicates are equality on the primary key or
+// on a unique-indexed column, matching the paper's observation that
+// "most predicates use a primary key to determine which record to read".
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokParam // :name
+	tokPunct // ( ) , = + - * ;
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes one statement.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src or reports the offending position.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' && l.prevIsOperand():
+			// A '-' directly before a digit is a binary minus when the
+			// previous token is an operand; otherwise a negative
+			// literal.
+			l.emitPunct()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == ':':
+			if err := l.lexParam(); err != nil {
+				return nil, err
+			}
+		case strings.IndexByte("(),=+-*;", c) >= 0:
+			l.emitPunct()
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) prevIsOperand() bool {
+	if len(l.toks) == 0 {
+		return false
+	}
+	t := l.toks[len(l.toks)-1]
+	return t.kind == tokIdent || t.kind == tokNumber || t.kind == tokParam ||
+		(t.kind == tokPunct && t.text == ")")
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlmini: unterminated string literal at %d", start)
+}
+
+func (l *lexer) lexParam() error {
+	start := l.pos
+	l.pos++ // colon
+	if l.pos >= len(l.src) || !isIdentStart(rune(l.src[l.pos])) {
+		return fmt.Errorf("sqlmini: bad parameter name at %d", start)
+	}
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokParam, text: l.src[start+1 : l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) emitPunct() {
+	l.toks = append(l.toks, token{kind: tokPunct, text: string(l.src[l.pos]), pos: l.pos})
+	l.pos++
+}

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"sync"
+
+	"sicost/internal/core"
+)
+
+// indexEntry is one versioned mapping from an indexed column value to a
+// primary key. Entries carry creator/CSN like row versions so that
+// aborted inserts leave no trace and snapshot reads of the index are
+// consistent.
+type indexEntry struct {
+	val     core.Value
+	pk      core.Value
+	creator uint64
+	csn     uint64 // 0 while the creating transaction is in flight
+	deleted bool   // tombstone written by a delete
+}
+
+// UniqueIndex is a unique secondary index: at most one live committed
+// entry per indexed value. SmallBank declares one on Account.CustomerID.
+type UniqueIndex struct {
+	table  string
+	column string
+	colPos int
+
+	mu      sync.Mutex
+	entries map[core.Value][]*indexEntry // newest first
+	pending map[uint64][]*indexEntry     // per in-flight transaction
+}
+
+// NewUniqueIndex creates an empty index over the column at position
+// colPos of the named table.
+func NewUniqueIndex(table, column string, colPos int) *UniqueIndex {
+	return &UniqueIndex{
+		table:   table,
+		column:  column,
+		colPos:  colPos,
+		entries: make(map[core.Value][]*indexEntry),
+		pending: make(map[uint64][]*indexEntry),
+	}
+}
+
+// Column returns the indexed column's name.
+func (ix *UniqueIndex) Column() string { return ix.column }
+
+// ColPos returns the indexed column's position in the table schema.
+func (ix *UniqueIndex) ColPos() int { return ix.colPos }
+
+// Insert registers an uncommitted entry mapping val to pk for
+// transaction tx. It returns core.ErrUniqueViolation when a conflicting
+// entry exists: a committed live entry, or an uncommitted entry from
+// another in-flight transaction (the engine does not block on index
+// conflicts; the loader and tests are the only writers of indexed
+// columns in the benchmark).
+func (ix *UniqueIndex) Insert(tx uint64, val, pk core.Value) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, e := range ix.entries[val] {
+		if e.deleted {
+			if e.csn != 0 || e.creator == tx {
+				// Committed tombstone (or our own): value is free below
+				// this point in the chain.
+				break
+			}
+			continue
+		}
+		if e.creator == tx && e.csn == 0 && e.pk == pk {
+			return nil // idempotent re-insert within the transaction
+		}
+		return core.ErrUniqueViolation
+	}
+	e := &indexEntry{val: val, pk: pk, creator: tx}
+	ix.entries[val] = append([]*indexEntry{e}, ix.entries[val]...)
+	ix.pending[tx] = append(ix.pending[tx], e)
+	return nil
+}
+
+// Delete registers an uncommitted tombstone for val written by tx. The
+// tombstone becomes effective at commit; abort discards it.
+func (ix *UniqueIndex) Delete(tx uint64, val core.Value) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	e := &indexEntry{val: val, creator: tx, deleted: true}
+	ix.entries[val] = append([]*indexEntry{e}, ix.entries[val]...)
+	ix.pending[tx] = append(ix.pending[tx], e)
+}
+
+// Lookup returns the primary key mapped from val as seen by a snapshot,
+// honouring the reader's own uncommitted entries.
+func (ix *UniqueIndex) Lookup(snapshotCSN, self uint64, val core.Value) (core.Value, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, e := range ix.entries[val] {
+		visible := e.creator == self || (e.csn != 0 && e.csn <= snapshotCSN)
+		if !visible {
+			continue
+		}
+		if e.deleted {
+			return core.Value{}, false
+		}
+		return e.pk, true
+	}
+	return core.Value{}, false
+}
+
+// Commit stamps all of tx's uncommitted entries with csn.
+func (ix *UniqueIndex) Commit(tx, csn uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, e := range ix.pending[tx] {
+		e.csn = csn
+	}
+	delete(ix.pending, tx)
+}
+
+// Abort removes all of tx's uncommitted entries.
+func (ix *UniqueIndex) Abort(tx uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, pe := range ix.pending[tx] {
+		chain := ix.entries[pe.val]
+		kept := chain[:0]
+		for _, e := range chain {
+			if e != pe {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.entries, pe.val)
+		} else {
+			ix.entries[pe.val] = kept
+		}
+	}
+	delete(ix.pending, tx)
+}

@@ -1,0 +1,295 @@
+package storage
+
+import (
+	"sync"
+
+	"sicost/internal/core"
+)
+
+// LockMode is the strength of a row lock.
+type LockMode uint8
+
+// Lock modes: shared (readers under 2PL) and exclusive (writers under
+// every mode; select-for-update).
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+// String names the mode.
+func (m LockMode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// LockKey identifies one lockable resource: a row of a table.
+type LockKey struct {
+	Table string
+	Key   core.Value
+}
+
+// waiter is one queued lock request.
+type waiter struct {
+	tx    uint64
+	mode  LockMode
+	ready chan error // buffered(1); receives nil on grant
+}
+
+// lock is the state of one locked resource.
+type lock struct {
+	holders map[uint64]LockMode
+	queue   []*waiter
+}
+
+// compatibleWithHolders reports whether a request by tx at mode can be
+// granted given current holders (ignoring any lock tx itself holds).
+func (l *lock) compatibleWithHolders(tx uint64, mode LockMode) bool {
+	for h, hm := range l.holders {
+		if h == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// LockTable is the engine's lock manager: row-granularity S/X locks with
+// FIFO wait queues, lock upgrade, and waits-for deadlock detection that
+// aborts the requester closing a cycle (returning core.ErrDeadlock).
+type LockTable struct {
+	mu    sync.Mutex
+	locks map[LockKey]*lock
+	held  map[uint64][]LockKey // per-transaction held keys, for ReleaseAll
+}
+
+// NewLockTable creates an empty lock manager.
+func NewLockTable() *LockTable {
+	return &LockTable{
+		locks: make(map[LockKey]*lock),
+		held:  make(map[uint64][]LockKey),
+	}
+}
+
+// Acquire obtains the lock on key at the given mode for tx, blocking
+// while incompatible holders or earlier waiters exist. It returns
+// core.ErrDeadlock when waiting would close a cycle in the waits-for
+// graph. Re-acquiring a held lock is a no-op; Shared→Exclusive upgrades
+// are honoured (jumping the queue when tx is the sole holder, which is
+// how real lock managers avoid trivial upgrade deadlocks).
+func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
+	lt.mu.Lock()
+	l := lt.locks[key]
+	if l == nil {
+		l = &lock{holders: make(map[uint64]LockMode)}
+		lt.locks[key] = l
+	}
+
+	if hm, holds := l.holders[tx]; holds {
+		if hm == Exclusive || hm == mode {
+			lt.mu.Unlock()
+			return nil // already strong enough
+		}
+		// Shared → Exclusive upgrade.
+		if l.compatibleWithHolders(tx, Exclusive) {
+			l.holders[tx] = Exclusive
+			lt.mu.Unlock()
+			return nil
+		}
+		// Must wait for other shared holders to drain. Upgrades go to
+		// the front of the queue.
+		w := &waiter{tx: tx, mode: Exclusive, ready: make(chan error, 1)}
+		if lt.wouldDeadlock(tx, l) {
+			lt.mu.Unlock()
+			return core.ErrDeadlock
+		}
+		l.queue = append([]*waiter{w}, l.queue...)
+		lt.mu.Unlock()
+		return <-w.ready
+	}
+
+	if len(l.queue) == 0 && l.compatibleWithHolders(tx, mode) {
+		l.holders[tx] = mode
+		lt.held[tx] = append(lt.held[tx], key)
+		lt.mu.Unlock()
+		return nil
+	}
+
+	w := &waiter{tx: tx, mode: mode, ready: make(chan error, 1)}
+	if lt.wouldDeadlock(tx, l) {
+		lt.mu.Unlock()
+		return core.ErrDeadlock
+	}
+	l.queue = append(l.queue, w)
+	lt.mu.Unlock()
+	return <-w.ready
+}
+
+// wouldDeadlock reports whether tx blocking on lock l closes a cycle in
+// the waits-for graph. Called with lt.mu held. The requester waits for
+// every incompatible holder and every queued waiter of l; transitively, a
+// blocked transaction waits for the holders/queue of the lock it is
+// queued on.
+func (lt *LockTable) wouldDeadlock(tx uint64, l *lock) bool {
+	// Build the blocked-on relation lazily over current lock states.
+	visited := make(map[uint64]bool)
+	var reaches func(from uint64) bool // true if `from` (transitively) waits for tx
+	reaches = func(from uint64) bool {
+		if from == tx {
+			return true
+		}
+		if visited[from] {
+			return false
+		}
+		visited[from] = true
+		for _, lk := range lt.locks {
+			for _, w := range lk.queue {
+				if w.tx != from {
+					continue
+				}
+				for h := range lk.holders {
+					if h != from && reaches(h) {
+						return true
+					}
+				}
+				for _, w2 := range lk.queue {
+					if w2.tx != from && reaches(w2.tx) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for h := range l.holders {
+		if h != tx && reaches(h) {
+			return true
+		}
+	}
+	for _, w := range l.queue {
+		if w.tx != tx && reaches(w.tx) {
+			return true
+		}
+	}
+	return false
+}
+
+// Release drops tx's lock on key (if held) and grants to waiters.
+func (lt *LockTable) Release(tx uint64, key LockKey) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.releaseLocked(tx, key)
+	keys := lt.held[tx]
+	for i, k := range keys {
+		if k == key {
+			lt.held[tx] = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReleaseAll drops every lock tx holds and removes tx from any wait
+// queues (a belt-and-braces cleanup for aborted transactions).
+func (lt *LockTable) ReleaseAll(tx uint64) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for _, key := range lt.held[tx] {
+		lt.releaseLocked(tx, key)
+	}
+	delete(lt.held, tx)
+	// Remove any dangling queued requests by tx (e.g. a racing Acquire
+	// that lost to an abort). Grant whatever becomes available.
+	for key, l := range lt.locks {
+		changed := false
+		kept := l.queue[:0]
+		for _, w := range l.queue {
+			if w.tx == tx {
+				w.ready <- core.ErrDeadlock
+				changed = true
+				continue
+			}
+			kept = append(kept, w)
+		}
+		l.queue = kept
+		if changed {
+			lt.grantLocked(key, l)
+		}
+	}
+}
+
+// releaseLocked drops tx's hold on key and promotes waiters. Caller
+// holds lt.mu.
+func (lt *LockTable) releaseLocked(tx uint64, key LockKey) {
+	l := lt.locks[key]
+	if l == nil {
+		return
+	}
+	if _, held := l.holders[tx]; !held {
+		return
+	}
+	delete(l.holders, tx)
+	lt.grantLocked(key, l)
+}
+
+// grantLocked promotes as many queued waiters as compatibility allows:
+// the head waiter, then (if it was shared) consecutive shared waiters.
+// Caller holds lt.mu.
+func (lt *LockTable) grantLocked(key LockKey, l *lock) {
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		if !l.compatibleWithHolders(w.tx, w.mode) {
+			break
+		}
+		l.queue = l.queue[1:]
+		if prev, holds := l.holders[w.tx]; holds {
+			// Upgrade grant: strengthen in place (key already in held).
+			if w.mode == Exclusive || prev == Exclusive {
+				l.holders[w.tx] = Exclusive
+			}
+		} else {
+			l.holders[w.tx] = w.mode
+			lt.held[w.tx] = append(lt.held[w.tx], key)
+		}
+		w.ready <- nil
+		if w.mode == Exclusive {
+			break
+		}
+	}
+	if len(l.holders) == 0 && len(l.queue) == 0 {
+		delete(lt.locks, key)
+	}
+}
+
+// Holds reports whether tx currently holds key at least at mode.
+func (lt *LockTable) Holds(tx uint64, key LockKey, mode LockMode) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l := lt.locks[key]
+	if l == nil {
+		return false
+	}
+	hm, ok := l.holders[tx]
+	return ok && (hm == Exclusive || hm == mode)
+}
+
+// HeldKeys returns the keys tx holds; diagnostics and tests.
+func (lt *LockTable) HeldKeys(tx uint64) []LockKey {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make([]LockKey, len(lt.held[tx]))
+	copy(out, lt.held[tx])
+	return out
+}
+
+// QueueLen returns the number of waiters on key; diagnostics and tests.
+func (lt *LockTable) QueueLen(key LockKey) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if l := lt.locks[key]; l != nil {
+		return len(l.queue)
+	}
+	return 0
+}

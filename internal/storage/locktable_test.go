@@ -1,0 +1,309 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+func lk(table string, k int64) LockKey {
+	return LockKey{Table: table, Key: core.Int(k)}
+}
+
+func TestExclusiveBlocksAndReleases(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("Checking", 1)
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !lt.Holds(1, key, Exclusive) {
+		t.Fatal("holder not recorded")
+	}
+
+	got := make(chan error, 1)
+	go func() { got <- lt.Acquire(2, key, Exclusive) }()
+
+	select {
+	case err := <-got:
+		t.Fatalf("tx2 acquired while tx1 holds: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if lt.QueueLen(key) != 1 {
+		t.Fatalf("queue length = %d", lt.QueueLen(key))
+	}
+
+	lt.Release(1, key)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if !lt.Holds(2, key, Exclusive) {
+		t.Fatal("tx2 not promoted to holder")
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("Saving", 1)
+	for tx := uint64(1); tx <= 3; tx++ {
+		if err := lt.Acquire(tx, key, Shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An exclusive request must wait.
+	got := make(chan error, 1)
+	go func() { got <- lt.Acquire(4, key, Exclusive) }()
+	select {
+	case <-got:
+		t.Fatal("exclusive granted alongside shared holders")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lt.Release(1, key)
+	lt.Release(2, key)
+	lt.Release(3, key)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(1, key, Shared); err != nil {
+		t.Fatal(err) // X covers S
+	}
+	lt.Release(1, key)
+	// After the single release, the lock is gone (no double-count).
+	if lt.Holds(1, key, Shared) {
+		t.Fatal("lock survived release")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !lt.Holds(1, key, Exclusive) {
+		t.Fatal("upgrade failed")
+	}
+}
+
+func TestUpgradeWaitsForOtherSharers(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(2, key, Shared); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lt.Acquire(1, key, Exclusive) }()
+	select {
+	case <-got:
+		t.Fatal("upgrade granted while another sharer exists")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lt.Release(2, key)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if !lt.Holds(1, key, Exclusive) {
+		t.Fatal("upgrade not applied")
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	// Classic upgrade deadlock: both hold S, both want X.
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(2, key, Shared); err != nil {
+		t.Fatal(err)
+	}
+	got1 := make(chan error, 1)
+	go func() { got1 <- lt.Acquire(1, key, Exclusive) }()
+	time.Sleep(10 * time.Millisecond) // let tx1 queue its upgrade
+
+	err2 := lt.Acquire(2, key, Exclusive)
+	if !errors.Is(err2, core.ErrDeadlock) {
+		t.Fatalf("tx2 upgrade err = %v, want deadlock", err2)
+	}
+	// tx2 aborts: releases its share; tx1's upgrade proceeds.
+	lt.ReleaseAll(2)
+	if err := <-got1; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoRowDeadlockDetected(t *testing.T) {
+	lt := NewLockTable()
+	a, b := lk("T", 1), lk("T", 2)
+	if err := lt.Acquire(1, a, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(2, b, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got1 := make(chan error, 1)
+	go func() { got1 <- lt.Acquire(1, b, Exclusive) }() // tx1 waits for tx2
+	time.Sleep(10 * time.Millisecond)
+
+	// tx2 requesting a closes the cycle: must get ErrDeadlock at once.
+	err := lt.Acquire(2, a, Exclusive)
+	if !errors.Is(err, core.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	lt.ReleaseAll(2) // victim aborts
+	if err := <-got1; err != nil {
+		t.Fatalf("survivor's acquire failed: %v", err)
+	}
+}
+
+func TestThreeWayDeadlockDetected(t *testing.T) {
+	lt := NewLockTable()
+	a, b, c := lk("T", 1), lk("T", 2), lk("T", 3)
+	mustAcquire := func(tx uint64, k LockKey) {
+		t.Helper()
+		if err := lt.Acquire(tx, k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAcquire(1, a)
+	mustAcquire(2, b)
+	mustAcquire(3, c)
+	g1 := make(chan error, 1)
+	g2 := make(chan error, 1)
+	go func() { g1 <- lt.Acquire(1, b, Exclusive) }()
+	go func() { g2 <- lt.Acquire(2, c, Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := lt.Acquire(3, a, Exclusive); !errors.Is(err, core.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	lt.ReleaseAll(3)
+	if err := <-g2; err != nil {
+		t.Fatal(err)
+	}
+	lt.ReleaseAll(2)
+	if err := <-g1; err != nil {
+		t.Fatal(err)
+	}
+	lt.ReleaseAll(1)
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for tx := uint64(2); tx <= 5; tx++ {
+		wg.Add(1)
+		go func(tx uint64) {
+			defer wg.Done()
+			if err := lt.Acquire(tx, key, Exclusive); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, tx)
+			mu.Unlock()
+			lt.Release(tx, key)
+		}(tx)
+		time.Sleep(10 * time.Millisecond) // establish arrival order
+	}
+	lt.Release(1, key)
+	wg.Wait()
+	for i := 0; i < len(order)-1; i++ {
+		if order[i] > order[i+1] {
+			t.Fatalf("grants out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestReleaseAllWakesQueuedSelf(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lt.Acquire(2, key, Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	// tx2 is externally aborted while waiting.
+	lt.ReleaseAll(2)
+	if err := <-got; !errors.Is(err, core.ErrDeadlock) {
+		t.Fatalf("queued request after ReleaseAll = %v", err)
+	}
+	lt.Release(1, key)
+}
+
+func TestHoldsAndHeldKeys(t *testing.T) {
+	lt := NewLockTable()
+	a, b := lk("T", 1), lk("U", 2)
+	if err := lt.Acquire(1, a, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(1, b, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !lt.Holds(1, a, Shared) || lt.Holds(1, a, Exclusive) {
+		t.Fatal("Holds mode check wrong for shared lock")
+	}
+	if !lt.Holds(1, b, Shared) || !lt.Holds(1, b, Exclusive) {
+		t.Fatal("exclusive must satisfy both mode checks")
+	}
+	if got := len(lt.HeldKeys(1)); got != 2 {
+		t.Fatalf("HeldKeys = %d", got)
+	}
+	lt.ReleaseAll(1)
+	if len(lt.HeldKeys(1)) != 0 || lt.Holds(1, a, Shared) {
+		t.Fatal("ReleaseAll left locks behind")
+	}
+}
+
+func TestConcurrentAcquireReleaseStress(t *testing.T) {
+	lt := NewLockTable()
+	const txns = 16
+	var wg sync.WaitGroup
+	for i := 0; i < txns; i++ {
+		wg.Add(1)
+		go func(tx uint64) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				// Each tx locks two keys in a consistent global order, so
+				// no deadlock is possible and every acquire must succeed.
+				k1, k2 := lk("T", int64(rep%3)), lk("T", int64(rep%3)+10)
+				if err := lt.Acquire(tx, k1, Exclusive); err != nil {
+					t.Errorf("tx %d: %v", tx, err)
+					return
+				}
+				if err := lt.Acquire(tx, k2, Shared); err != nil {
+					t.Errorf("tx %d: %v", tx, err)
+					return
+				}
+				lt.ReleaseAll(tx)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sicost/internal/core"
+)
+
+// Table is a versioned heap keyed by primary key, with any declared
+// unique secondary indexes attached.
+type Table struct {
+	schema *core.Schema
+
+	mu   sync.RWMutex
+	rows map[core.Value]*Row
+
+	indexes []*UniqueIndex // parallel to schema.Unique
+}
+
+// NewTable builds an empty table for a validated schema.
+func NewTable(schema *core.Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		schema: schema,
+		rows:   make(map[core.Value]*Row),
+	}
+	for _, col := range schema.Unique {
+		t.indexes = append(t.indexes, NewUniqueIndex(schema.Name, schema.Columns[col].Name, col))
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *core.Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Row returns the row anchor for key, or nil if the key has never been
+// inserted.
+func (t *Table) Row(key core.Value) *Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[key]
+}
+
+// EnsureRow returns the row anchor for key, creating an empty anchor if
+// needed (the insert path).
+func (t *Table) EnsureRow(key core.Value) *Row {
+	t.mu.RLock()
+	r := t.rows[key]
+	t.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r = t.rows[key]; r == nil {
+		r = &Row{}
+		t.rows[key] = r
+	}
+	return r
+}
+
+// Indexes returns the table's unique secondary indexes.
+func (t *Table) Indexes() []*UniqueIndex { return t.indexes }
+
+// Keys returns all primary keys with at least one version, sorted; used
+// by scans, the loader's verification pass and tests.
+func (t *Table) Keys() []core.Value {
+	t.mu.RLock()
+	keys := make([]core.Value, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	t.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}
+
+// RowCount returns the number of row anchors (including tombstoned rows).
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Store is a named collection of tables: one simulated database.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table for schema; it fails if the name exists.
+func (s *Store) CreateTable(schema *core.Schema) (*Table, error) {
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("storage: table %s already exists", schema.Name)
+	}
+	s.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table, or an error if absent.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no such table %s", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table for callers that know the schema exists (the
+// benchmark programs, which create their tables at load time).
+func (s *Store) MustTable(name string) *Table {
+	t, err := s.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TableNames lists tables in sorted order.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,156 @@
+// Package storage implements the multi-version storage substrate of the
+// sicost engine: versioned tables keyed by primary key, unique secondary
+// indexes, and a lock table with FIFO wait queues and deadlock detection.
+//
+// The design mirrors the parts of PostgreSQL the paper's analysis depends
+// on: every update installs a new version (visible to its creator
+// immediately, to others only after commit), row-level exclusive locks
+// serialize writers, and readers never block. Concurrency control policy
+// (snapshot isolation, 2PL, SSI) lives above, in internal/engine.
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sicost/internal/core"
+)
+
+// Version is one row image in a version chain. Prev points at the older
+// version; chains are newest-first. The commit sequence number (CSN) is
+// zero while the creating transaction is in flight and is stamped
+// atomically at commit, so readers can traverse chains without locks.
+type Version struct {
+	// Rec is the row image; nil marks a deletion tombstone.
+	Rec core.Record
+	// Creator is the transaction id that produced this version.
+	Creator uint64
+	// Prev is the next older version, immutable once the version is
+	// linked into a chain.
+	Prev *Version
+
+	csn atomic.Uint64
+}
+
+// CSN returns the commit sequence number, or 0 if uncommitted.
+func (v *Version) CSN() uint64 { return v.csn.Load() }
+
+// MarkCommitted stamps the version with its creator's commit sequence
+// number, making it visible to snapshots taken at or after csn.
+func (v *Version) MarkCommitted(csn uint64) { v.csn.Store(csn) }
+
+// VisibleTo reports whether this single version is visible to a reader
+// with the given snapshot CSN and transaction id (a transaction always
+// sees its own uncommitted writes).
+func (v *Version) VisibleTo(snapshotCSN, self uint64) bool {
+	if v.Creator == self {
+		return true
+	}
+	c := v.CSN()
+	return c != 0 && c <= snapshotCSN
+}
+
+// Row is the per-primary-key anchor of a version chain plus the metadata
+// the platform variants need (the commercial platform records the commit
+// CSN of the last SELECT FOR UPDATE so later concurrent writers conflict
+// with it).
+type Row struct {
+	mu   sync.Mutex
+	head atomic.Pointer[Version]
+
+	// lastSFUCommit is the commit CSN of the most recent transaction that
+	// select-for-updated this row on the commercial platform. Writers
+	// whose snapshot predates it fail with a serialization error, which
+	// is the paper's "treated for concurrency control like an Update".
+	lastSFUCommit atomic.Uint64
+}
+
+// Head returns the newest version (committed or not), or nil for a row
+// anchor with no versions yet.
+func (r *Row) Head() *Version { return r.head.Load() }
+
+// Visible returns the newest version visible to the given snapshot and
+// transaction id, or nil if none is. A nil result or a tombstone
+// (Rec == nil) both mean "no row" to the caller.
+func (r *Row) Visible(snapshotCSN, self uint64) *Version {
+	for v := r.Head(); v != nil; v = v.Prev {
+		if v.VisibleTo(snapshotCSN, self) {
+			return v
+		}
+	}
+	return nil
+}
+
+// NewestCommitted returns the newest committed version, or nil.
+func (r *Row) NewestCommitted() *Version {
+	for v := r.Head(); v != nil; v = v.Prev {
+		if v.CSN() != 0 {
+			return v
+		}
+	}
+	return nil
+}
+
+// Install links a new uncommitted version at the head of the chain. The
+// caller must hold the row's exclusive lock in the lock table, which
+// guarantees at most one uncommitted version per row.
+func (r *Row) Install(v *Version) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v.Prev = r.head.Load()
+	r.head.Store(v)
+}
+
+// RemoveUncommitted unlinks the head version if it is an uncommitted
+// version created by tx; it is the abort path. It reports whether a
+// version was removed.
+func (r *Row) RemoveUncommitted(tx uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	if h == nil || h.Creator != tx || h.CSN() != 0 {
+		return false
+	}
+	r.head.Store(h.Prev)
+	return true
+}
+
+// UpdateOwn replaces the record of the head version when it is an
+// uncommitted version created by tx (a transaction updating the same row
+// twice); it reports whether the replacement happened.
+func (r *Row) UpdateOwn(tx uint64, rec core.Record) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	if h == nil || h.Creator != tx || h.CSN() != 0 {
+		return false
+	}
+	h.Rec = rec
+	return true
+}
+
+// NoteSFUCommit records that a commercial-platform select-for-update of
+// this row committed at csn.
+func (r *Row) NoteSFUCommit(csn uint64) {
+	// Monotonic max; concurrent commits race benignly because CSNs only
+	// grow and writers compare against their (older) snapshot.
+	for {
+		cur := r.lastSFUCommit.Load()
+		if csn <= cur || r.lastSFUCommit.CompareAndSwap(cur, csn) {
+			return
+		}
+	}
+}
+
+// LastSFUCommit returns the commit CSN of the last select-for-update on
+// this row (commercial platform), or 0.
+func (r *Row) LastSFUCommit() uint64 { return r.lastSFUCommit.Load() }
+
+// ChainLen returns the number of versions in the chain; diagnostics only.
+func (r *Row) ChainLen() int {
+	n := 0
+	for v := r.Head(); v != nil; v = v.Prev {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,312 @@
+// Package workload implements the paper's test driver (§IV): a closed
+// system of MPL concurrent clients with no think time, each running
+// randomly chosen SmallBank transactions against the engine — 90% of
+// transactions on a hotspot region of the customer table — through a
+// ramp-up period followed by a measurement interval, tracking commits,
+// aborts (by reason) and response times per transaction type.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+	"sicost/internal/metrics"
+	"sicost/internal/smallbank"
+)
+
+// Mix assigns a probability to each smallbank.TxnType; entries must sum
+// to (approximately) 1.
+type Mix [smallbank.NumTxnTypes]float64
+
+// UniformMix runs the five transactions with equal probability (most
+// experiments in the paper).
+func UniformMix() Mix {
+	var m Mix
+	for i := range m {
+		m[i] = 1.0 / float64(len(m))
+	}
+	return m
+}
+
+// BalanceHeavyMix runs Balance with probability pBal and splits the rest
+// uniformly (the paper's high-contention experiment uses 60% Balance).
+func BalanceHeavyMix(pBal float64) Mix {
+	var m Mix
+	m[smallbank.Balance] = pBal
+	rest := (1 - pBal) / float64(len(m)-1)
+	for i := 1; i < len(m); i++ {
+		m[i] = rest
+	}
+	return m
+}
+
+// Validate checks the mix sums to 1.
+func (m Mix) Validate() error {
+	sum := 0.0
+	for _, p := range m {
+		if p < 0 {
+			return fmt.Errorf("workload: negative mix probability %v", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload: mix sums to %v, want 1", sum)
+	}
+	return nil
+}
+
+// pick draws a transaction type.
+func (m Mix) pick(rng *rand.Rand) smallbank.TxnType {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range m {
+		acc += p
+		if r < acc {
+			return smallbank.TxnType(i)
+		}
+	}
+	return smallbank.TxnType(len(m) - 1)
+}
+
+// Config parameterizes one workload run.
+type Config struct {
+	Strategy *smallbank.Strategy
+	// MPL is the multiprogramming level: the number of concurrent
+	// clients.
+	MPL int
+	// Customers is the loaded table size (18000 in the paper).
+	Customers int
+	// HotspotSize is the number of customers in the hotspot (1000
+	// normally, 10 for high contention).
+	HotspotSize int
+	// HotspotProb is the fraction of transactions addressing the
+	// hotspot (0.9 in the paper).
+	HotspotProb float64
+	Mix         Mix
+	// Ramp is discarded warm-up time; Measure is the measured interval.
+	Ramp, Measure time.Duration
+	Seed          int64
+	// MaxRetries bounds how often one logical transaction is retried
+	// after serialization/deadlock aborts before the client gives up
+	// and moves on (each attempt's abort is still counted).
+	MaxRetries int
+}
+
+func (c *Config) defaults() error {
+	if c.Strategy == nil {
+		c.Strategy = smallbank.StrategySI
+	}
+	if c.MPL <= 0 {
+		return fmt.Errorf("workload: MPL must be positive")
+	}
+	if c.Customers <= 1 {
+		return fmt.Errorf("workload: need at least 2 customers")
+	}
+	if c.HotspotSize <= 1 || c.HotspotSize > c.Customers {
+		return fmt.Errorf("workload: hotspot size %d out of range", c.HotspotSize)
+	}
+	if c.HotspotProb < 0 || c.HotspotProb > 1 {
+		return fmt.Errorf("workload: hotspot probability %v out of range", c.HotspotProb)
+	}
+	var zero Mix
+	if c.Mix == zero {
+		c.Mix = UniformMix()
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if c.Measure <= 0 {
+		return fmt.Errorf("workload: measurement interval must be positive")
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 50
+	}
+	return nil
+}
+
+// TypeStats aggregates one transaction type's outcomes during the
+// measurement interval.
+type TypeStats struct {
+	Commits int64
+	// Aborts counts attempts that did not commit, by reason.
+	Aborts map[core.AbortReason]int64
+	// Latency records the client-perceived response time of each
+	// completed interaction (including its retries).
+	Latency metrics.LatencyRecorder
+}
+
+// TotalAborts sums aborts across reasons.
+func (s *TypeStats) TotalAborts() int64 {
+	var n int64
+	for _, v := range s.Aborts {
+		n += v
+	}
+	return n
+}
+
+// SerializationAbortRate is the fraction of attempts of this type that
+// failed with a serialization error — the quantity of the paper's
+// Figure 6.
+func (s *TypeStats) SerializationAbortRate() float64 {
+	attempts := s.Commits + s.TotalAborts()
+	if attempts == 0 {
+		return 0
+	}
+	return float64(s.Aborts[core.AbortSerialization]) / float64(attempts)
+}
+
+// Result is the outcome of one workload run.
+type Result struct {
+	Config   Config
+	Measured time.Duration
+	Commits  int64
+	Aborts   int64
+	PerType  [smallbank.NumTxnTypes]TypeStats
+	// TPS is committed transactions per second over the measurement
+	// interval.
+	TPS float64
+	// MeanLatency is the mean committed-interaction response time.
+	MeanLatency time.Duration
+}
+
+// clientStats is each goroutine's private accumulator.
+type clientStats struct {
+	perType [smallbank.NumTxnTypes]TypeStats
+}
+
+func newClientStats() *clientStats {
+	cs := &clientStats{}
+	for i := range cs.perType {
+		cs.perType[i].Aborts = make(map[core.AbortReason]int64)
+	}
+	return cs
+}
+
+// Run executes the workload against db (already loaded via
+// smallbank.Load with cfg.Customers customers).
+func Run(db *engine.DB, cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	measureStart := start.Add(cfg.Ramp)
+	deadline := measureStart.Add(cfg.Measure)
+
+	var wg sync.WaitGroup
+	stats := make([]*clientStats, cfg.MPL)
+	for c := 0; c < cfg.MPL; c++ {
+		stats[c] = newClientStats()
+		wg.Add(1)
+		go func(id int, cs *clientStats) {
+			defer wg.Done()
+			db.Machine().EnterSession()
+			defer db.Machine().LeaveSession()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			client(db, cfg, rng, cs, measureStart, deadline)
+		}(c, stats[c])
+	}
+	wg.Wait()
+
+	res := &Result{Config: cfg, Measured: cfg.Measure}
+	for i := range res.PerType {
+		res.PerType[i].Aborts = make(map[core.AbortReason]int64)
+	}
+	var lat metrics.LatencyRecorder
+	for _, cs := range stats {
+		for i := range cs.perType {
+			res.PerType[i].Commits += cs.perType[i].Commits
+			for r, n := range cs.perType[i].Aborts {
+				res.PerType[i].Aborts[r] += n
+			}
+			res.PerType[i].Latency.Merge(&cs.perType[i].Latency)
+			lat.Merge(&cs.perType[i].Latency)
+		}
+	}
+	for i := range res.PerType {
+		res.Commits += res.PerType[i].Commits
+		res.Aborts += res.PerType[i].TotalAborts()
+	}
+	res.TPS = float64(res.Commits) / cfg.Measure.Seconds()
+	res.MeanLatency = lat.Mean()
+	return res, nil
+}
+
+// client is one closed-system thread: run a transaction, wait for the
+// reply, immediately start the next (§IV: "no think time").
+func client(db *engine.DB, cfg Config, rng *rand.Rand, cs *clientStats, measureStart, deadline time.Time) {
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			return
+		}
+		measuring := now.After(measureStart)
+
+		typ := cfg.Mix.pick(rng)
+		params := pickParams(cfg, rng, typ)
+
+		begin := time.Now()
+		committed := false
+		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+			err := smallbank.Run(db, cfg.Strategy, typ, params)
+			if err == nil {
+				committed = true
+				if measuring {
+					cs.perType[typ].Commits++
+				}
+				break
+			}
+			if measuring {
+				cs.perType[typ].Aborts[core.ClassifyAbort(err)]++
+			}
+			if !core.IsRetriable(err) {
+				break // application rollback or hard error: new params
+			}
+			if time.Now().After(deadline) {
+				return
+			}
+		}
+		if committed && measuring {
+			cs.perType[typ].Latency.Add(time.Since(begin))
+		}
+	}
+}
+
+// pickParams draws customers (90% hotspot by default) and an amount.
+func pickParams(cfg Config, rng *rand.Rand, typ smallbank.TxnType) smallbank.Params {
+	c1 := pickCustomer(cfg, rng)
+	p := smallbank.Params{N1: smallbank.CustomerName(c1)}
+	switch typ {
+	case smallbank.Amalgamate:
+		c2 := pickCustomer(cfg, rng)
+		for c2 == c1 {
+			c2 = pickCustomer(cfg, rng)
+		}
+		p.N2 = smallbank.CustomerName(c2)
+	case smallbank.DepositChecking:
+		p.V = 1 + rng.Int63n(100_00)
+	case smallbank.TransactSaving:
+		// Mostly deposits with occasional withdrawals, so application
+		// rollbacks (negative balance) stay rare.
+		p.V = rng.Int63n(200_00) - 50_00
+	case smallbank.WriteCheck:
+		p.V = 1 + rng.Int63n(50_00)
+	}
+	return p
+}
+
+// pickCustomer draws from the hotspot with cfg.HotspotProb, else
+// uniformly from the remainder of the table (§IV).
+func pickCustomer(cfg Config, rng *rand.Rand) int {
+	if rng.Float64() < cfg.HotspotProb {
+		return rng.Intn(cfg.HotspotSize)
+	}
+	if cfg.Customers == cfg.HotspotSize {
+		return rng.Intn(cfg.HotspotSize)
+	}
+	return cfg.HotspotSize + rng.Intn(cfg.Customers-cfg.HotspotSize)
+}
