@@ -1,0 +1,35 @@
+# Development targets for the sicost repo. `make ci` is the gate a
+# change must pass before review: build, vet, full tests, and the race
+# detector over every package.
+
+GO ?= go
+
+.PHONY: all build test short vet race fuzz bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick loop: skips the stochastic anomaly hunt and long explorations.
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke on both targets (30s each); CI-friendly bound.
+fuzz:
+	$(GO) test -fuzz FuzzCheckerHistories -fuzztime 30s ./internal/detsim
+	$(GO) test -fuzz FuzzSQLMiniParse -fuzztime 30s ./internal/sqlmini
+
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkCommit' -benchmem ./internal/engine
+
+ci: build vet test race

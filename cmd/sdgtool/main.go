@@ -121,16 +121,25 @@ func main() {
 		return
 	}
 
-	g, err := sdg.New(progs...)
+	out, err := report(progs, *dot)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdgtool:", err)
 		os.Exit(1)
 	}
-	if *dot {
-		fmt.Print(g.ToDOT("sdg"))
-		return
+	fmt.Print(out)
+}
+
+// report renders the command's main output for a program mix: the SDG
+// text report, or its Graphviz form when dot is set.
+func report(progs []*sdg.Program, dot bool) (string, error) {
+	g, err := sdg.New(progs...)
+	if err != nil {
+		return "", err
 	}
-	fmt.Print(g.Describe())
+	if dot {
+		return g.ToDOT("sdg"), nil
+	}
+	return g.Describe(), nil
 }
 
 // runAdvise ranks repair options with the analytic performance model
@@ -224,10 +233,18 @@ func applyFix(progs []*sdg.Program, spec string) ([]*sdg.Program, error) {
 }
 
 func reportMods(mods []sdg.Modification) {
+	fmt.Print(describeMods(mods))
+}
+
+// describeMods renders the applied-modification block printed before a
+// -fix report. Sorts its argument.
+func describeMods(mods []sdg.Modification) string {
 	sdg.SortModifications(mods)
-	fmt.Println("Applied modifications:")
+	var b strings.Builder
+	b.WriteString("Applied modifications:\n")
 	for _, m := range mods {
-		fmt.Printf("  %-12s += %s   (%s, edge %s)\n", m.Program, m.Add, m.Technique, m.Edge)
+		fmt.Fprintf(&b, "  %-12s += %s   (%s, edge %s)\n", m.Program, m.Add, m.Technique, m.Edge)
 	}
-	fmt.Println()
+	b.WriteString("\n")
+	return b.String()
 }

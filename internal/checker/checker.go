@@ -48,6 +48,17 @@ func (c *Checker) NumTxns() int {
 	return len(c.infos)
 }
 
+// Infos returns a copy of the recorded commit history, in commit order.
+// The deterministic-simulation oracle (internal/detsim) uses it to
+// cross-validate Analyze against an independent brute-force search.
+func (c *Checker) Infos() []engine.TxInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]engine.TxInfo, len(c.infos))
+	copy(out, c.infos)
+	return out
+}
+
 // Reset discards all recorded history.
 func (c *Checker) Reset() {
 	c.mu.Lock()

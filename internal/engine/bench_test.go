@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"testing"
+
+	"sicost/internal/core"
+)
+
+// benchDB builds a DB for benchmarking: no simulated costs, table T
+// preloaded with rows keys [0,rows).
+func benchDB(b *testing.B, mode core.CCMode, rows int64) *DB {
+	b.Helper()
+	db := Open(Config{Mode: mode, Platform: core.PlatformPostgres})
+	if err := db.CreateTable(kvSchema("T")); err != nil {
+		b.Fatal(err)
+	}
+	tx := db.Begin()
+	for k := int64(0); k < rows; k++ {
+		if err := tx.Insert("T", kv(k, k)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(db.Close)
+	return db
+}
+
+// benchCommit measures the full uncontended transaction cycle for one
+// concurrency-control mode: begin, read one row, update another row,
+// commit. This is the common path every SmallBank transaction pays, so
+// the per-mode deltas here are the engine-side "cost of serializability"
+// the paper's §V throughput figures rest on.
+func benchCommit(b *testing.B, mode core.CCMode) {
+	const rows = 1024
+	db := benchDB(b, mode, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i) % rows
+		tx := db.Begin()
+		if _, err := tx.Get("T", core.Int(k)); err != nil {
+			b.Fatal(err)
+		}
+		wk := (k + 1) % rows
+		if err := tx.Update("T", core.Int(wk), kv(wk, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommitSI(b *testing.B)   { benchCommit(b, core.SnapshotFUW) }
+func BenchmarkCommitS2PL(b *testing.B) { benchCommit(b, core.Strict2PL) }
+func BenchmarkCommitSSI(b *testing.B)  { benchCommit(b, core.SerializableSI) }
+
+// BenchmarkCommitReadOnly isolates the read path: SSI must track read
+// sets and 2PL must take S locks, while SI reads are lock-free.
+func BenchmarkCommitReadOnly(b *testing.B) {
+	for _, mc := range []struct {
+		name string
+		mode core.CCMode
+	}{
+		{"SI", core.SnapshotFUW},
+		{"S2PL", core.Strict2PL},
+		{"SSI", core.SerializableSI},
+	} {
+		b.Run(mc.name, func(b *testing.B) {
+			const rows = 1024
+			db := benchDB(b, mc.mode, rows)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := db.Begin()
+				if _, err := tx.Get("T", core.Int(int64(i)%rows)); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

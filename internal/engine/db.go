@@ -71,6 +71,22 @@ type Observer interface {
 	OnCommit(TxInfo)
 }
 
+// WaitObserver is the engine's step-yield hook: it is told whenever a
+// transaction blocks on a row lock (the FUW and 2PL wait paths) and
+// whenever a blocked transaction is resolved — woken with the lock
+// granted (err == nil) or ejected because it aborted while queued
+// (err != nil). Wake notifications fire synchronously inside the
+// operation that causes them (a commit, abort or failed statement of
+// another transaction), before that operation returns, so a scripted
+// scheduler (internal/detsim) can drive transactions through exact
+// statement-level interleavings without wall-clock grace periods.
+// Callbacks run with the lock table's mutex held: they must be quick and
+// must not call back into the database.
+type WaitObserver interface {
+	OnTxWait(txID uint64, table string, key core.Value)
+	OnTxWake(txID uint64, table string, key core.Value, err error)
+}
+
 // DB is one simulated database instance.
 type DB struct {
 	cfg     Config
@@ -153,6 +169,23 @@ func (db *DB) SetObserver(o Observer) {
 	db.obsMu.Lock()
 	db.observer = o
 	db.obsMu.Unlock()
+}
+
+// SetWaitObserver installs the lock wait/wake observer (nil disables).
+// Must not be called while transactions are in flight.
+func (db *DB) SetWaitObserver(o WaitObserver) {
+	if o == nil {
+		db.locks.SetHooks(storage.WaitHooks{})
+		return
+	}
+	db.locks.SetHooks(storage.WaitHooks{
+		OnWait: func(tx uint64, key storage.LockKey) {
+			o.OnTxWait(tx, key.Table, key.Key)
+		},
+		OnWake: func(tx uint64, key storage.LockKey, err error) {
+			o.OnTxWake(tx, key.Table, key.Key, err)
+		},
+	})
 }
 
 // CommitSeq returns the current global commit sequence number.

@@ -57,6 +57,20 @@ func (l *lock) compatibleWithHolders(tx uint64, mode LockMode) bool {
 	return true
 }
 
+// WaitHooks observe the lock manager's blocking points. OnWait fires when
+// a request is queued and its transaction is about to block; OnWake fires
+// when a queued request is resolved — granted (err == nil) or ejected
+// (err != nil, e.g. the transaction was aborted while waiting). OnWake is
+// invoked synchronously from the goroutine that resolves the wait (the
+// releaser), before that goroutine's own operation returns, which is what
+// lets a deterministic scheduler (internal/detsim) attribute every wakeup
+// to the exact step that caused it. Hooks run with the table's mutex held
+// and must not call back into the LockTable.
+type WaitHooks struct {
+	OnWait func(tx uint64, key LockKey)
+	OnWake func(tx uint64, key LockKey, err error)
+}
+
 // LockTable is the engine's lock manager: row-granularity S/X locks with
 // FIFO wait queues, lock upgrade, and waits-for deadlock detection that
 // aborts the requester closing a cycle (returning core.ErrDeadlock).
@@ -64,6 +78,29 @@ type LockTable struct {
 	mu    sync.Mutex
 	locks map[LockKey]*lock
 	held  map[uint64][]LockKey // per-transaction held keys, for ReleaseAll
+	hooks WaitHooks
+}
+
+// SetHooks installs wait/wake observers (zero value disables). Not safe
+// to call while transactions are in flight.
+func (lt *LockTable) SetHooks(h WaitHooks) {
+	lt.mu.Lock()
+	lt.hooks = h
+	lt.mu.Unlock()
+}
+
+// notifyWait invokes the OnWait hook. Caller holds lt.mu.
+func (lt *LockTable) notifyWait(tx uint64, key LockKey) {
+	if lt.hooks.OnWait != nil {
+		lt.hooks.OnWait(tx, key)
+	}
+}
+
+// notifyWake invokes the OnWake hook. Caller holds lt.mu.
+func (lt *LockTable) notifyWake(tx uint64, key LockKey, err error) {
+	if lt.hooks.OnWake != nil {
+		lt.hooks.OnWake(tx, key, err)
+	}
 }
 
 // NewLockTable creates an empty lock manager.
@@ -107,6 +144,7 @@ func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
 			return core.ErrDeadlock
 		}
 		l.queue = append([]*waiter{w}, l.queue...)
+		lt.notifyWait(tx, key)
 		lt.mu.Unlock()
 		return <-w.ready
 	}
@@ -124,6 +162,7 @@ func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
 		return core.ErrDeadlock
 	}
 	l.queue = append(l.queue, w)
+	lt.notifyWait(tx, key)
 	lt.mu.Unlock()
 	return <-w.ready
 }
@@ -207,6 +246,7 @@ func (lt *LockTable) ReleaseAll(tx uint64) {
 		kept := l.queue[:0]
 		for _, w := range l.queue {
 			if w.tx == tx {
+				lt.notifyWake(w.tx, key, core.ErrDeadlock)
 				w.ready <- core.ErrDeadlock
 				changed = true
 				continue
@@ -253,6 +293,7 @@ func (lt *LockTable) grantLocked(key LockKey, l *lock) {
 			l.holders[w.tx] = w.mode
 			lt.held[w.tx] = append(lt.held[w.tx], key)
 		}
+		lt.notifyWake(w.tx, key, nil)
 		w.ready <- nil
 		if w.mode == Exclusive {
 			break
