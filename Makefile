@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet race fuzz bench ci
+.PHONY: all build test short vet race stress fuzz fuzzsmoke bench ci
 
 all: build test
 
@@ -24,12 +24,28 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Concurrency stress suite (goroutine fleets + property-based lock-table
+# equivalence) under the race detector, twice, to vary schedules.
+stress:
+	$(GO) test -race -count=2 -run 'TestStress|TestQuick' ./internal/storage ./internal/engine
+
 # Short fuzz smoke on both targets (30s each); CI-friendly bound.
 fuzz:
 	$(GO) test -fuzz FuzzCheckerHistories -fuzztime 30s ./internal/detsim
 	$(GO) test -fuzz FuzzSQLMiniParse -fuzztime 30s ./internal/sqlmini
 
-bench:
-	$(GO) test -run XXX -bench 'BenchmarkCommit' -benchmem ./internal/engine
+# Even shorter fuzz pass for the CI gate (10s per target).
+fuzzsmoke:
+	$(GO) test -fuzz FuzzCheckerHistories -fuzztime 10s ./internal/detsim
+	$(GO) test -fuzz FuzzSQLMiniParse -fuzztime 10s ./internal/sqlmini
 
-ci: build vet test race
+# Parallel-commit scaling benchmarks; regenerates BENCH_engine.json with
+# the committed pre-sharding baseline alongside the current numbers.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkCommitParallel' -benchtime 1s -benchmem ./internal/engine | tee bench_latest.txt
+	$(GO) run ./cmd/benchjson -o BENCH_engine.json \
+		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design." \
+		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt
+	rm -f bench_latest.txt
+
+ci: build vet test race stress fuzzsmoke

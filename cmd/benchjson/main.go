@@ -1,0 +1,170 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark results can be committed and diffed
+// (BENCH_engine.json records the engine's parallel-commit scaling).
+//
+// Usage:
+//
+//	go test -bench . ./internal/engine | benchjson -o BENCH.json
+//	benchjson -o BENCH.json -note "..." baseline=old.txt current=new.txt
+//
+// Positional arguments are label=path pairs, each parsed as one labelled
+// result set; with no arguments, stdin is parsed under the label
+// "bench". Environment header lines (goos, goarch, pkg, cpu) are lifted
+// into the document.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ResultSet is one labelled bench-output file.
+type ResultSet struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Note string      `json:"note,omitempty"`
+	Sets []ResultSet `json:"sets"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form annotation stored in the document")
+	flag.Parse()
+
+	doc := Document{Note: *note}
+	if flag.NArg() == 0 {
+		set, err := parse("bench", os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Sets = append(doc.Sets, set)
+	}
+	for _, arg := range flag.Args() {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal(fmt.Errorf("argument %q is not label=path", arg))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := parse(label, f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		doc.Sets = append(doc.Sets, set)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse reads one bench-output stream.
+func parse(label string, r io.Reader) (ResultSet, error) {
+	set := ResultSet{Label: label}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			set.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			set.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			set.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			set.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return set, err
+			}
+			if ok {
+				set.Benchmarks = append(set.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return set, err
+	}
+	if len(set.Benchmarks) == 0 {
+		return set, fmt.Errorf("no benchmark lines found")
+	}
+	return set, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkX/sub-8   1000  1234 ns/op  0.5 aborts/op  64 B/op  2 allocs/op
+//
+// The -N GOMAXPROCS suffix (absent at GOMAXPROCS=1) is kept as part of
+// the name. Lines without a runs column (e.g. "BenchmarkX") are skipped.
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{
+		Name:    strings.TrimPrefix(fields[0], "Benchmark"),
+		Metrics: map[string]float64{},
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil // summary or status line
+	}
+	b.Runs = runs
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+		} else {
+			b.Metrics[unit] = val
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

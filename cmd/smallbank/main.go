@@ -146,6 +146,20 @@ func main() {
 	fmt.Printf("\nWAL: %d flushes, %d records (avg batch %.1f), %d bytes\n",
 		ws.Flushes, ws.Records, ws.AvgBatch(), ws.Bytes)
 
+	lc := res.Contention.Lock
+	maxStripe, maxWaits := 0, uint64(0)
+	for i, w := range lc.PerStripeWaits {
+		if w > maxWaits {
+			maxStripe, maxWaits = i, w
+		}
+	}
+	fmt.Printf("locks: %d stripes, %d fast-path, %d waits (%v blocked), %d deadlock victims",
+		lc.Stripes, lc.FastPath, lc.Waits, lc.WaitTime.Round(time.Microsecond), lc.Deadlocks)
+	if lc.Waits > 0 {
+		fmt.Printf("; hottest stripe %d (%d waits)", maxStripe, maxWaits)
+	}
+	fmt.Printf("\ncommit sequencer: %d publish waits\n", res.Contention.CommitPublishWaits)
+
 	if chk != nil {
 		rep := chk.Analyze()
 		fmt.Printf("\nserializability: %s", rep.Describe())

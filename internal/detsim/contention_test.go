@@ -1,0 +1,64 @@
+package detsim
+
+import (
+	"testing"
+
+	"sicost/internal/core"
+	"sicost/internal/histories"
+)
+
+// TestContentionAccountingDeterministic cross-checks the sharded lock
+// table's counters against the deterministic scheduler's own view of the
+// same schedule: every step the harness observed blocking must appear as
+// a lock-table wait (FUW waiters that are woken and re-wait on a newer
+// version can add more), and a schedule with no blocking steps must
+// report zero waits.
+func TestContentionAccountingDeterministic(t *testing.T) {
+	t.Run("blocking-2pl", func(t *testing.T) {
+		// Under strict 2PL the write-skew script blocks w1(x) behind t2's
+		// shared lock and kills t2 by deadlock detection.
+		res := mustRun(t, histories.WriteSkew, modeCase{"2pl", core.Strict2PL, core.PlatformPostgres})
+		blocked := 0
+		for _, s := range res.Steps {
+			if s.Blocked {
+				blocked++
+			}
+		}
+		if blocked == 0 {
+			t.Fatal("expected at least one blocked step under 2PL")
+		}
+		c := res.Contention
+		if c.Lock.Waits < uint64(blocked) {
+			t.Fatalf("lock table recorded %d waits, scheduler observed %d blocked steps",
+				c.Lock.Waits, blocked)
+		}
+		if c.Lock.Deadlocks != 1 {
+			t.Fatalf("deadlocks = %d, want exactly 1 (t2 is the victim)", c.Lock.Deadlocks)
+		}
+		sum := uint64(0)
+		for _, v := range c.Lock.PerStripeWaits {
+			sum += v
+		}
+		if sum != c.Lock.Waits {
+			t.Fatalf("per-stripe waits sum %d != total %d", sum, c.Lock.Waits)
+		}
+	})
+
+	t.Run("non-blocking-si", func(t *testing.T) {
+		// Under plain SI the same script never blocks (disjoint write
+		// sets): the lock table must report zero queue events.
+		res := mustRun(t, histories.WriteSkew, modeCase{"si", core.SnapshotFUW, core.PlatformPostgres})
+		for i, s := range res.Steps {
+			if s.Blocked {
+				t.Fatalf("step %d unexpectedly blocked under SI", i)
+			}
+		}
+		c := res.Contention
+		if c.Lock.Waits != 0 || c.Lock.Deadlocks != 0 {
+			t.Fatalf("SI write-skew run should be wait-free, got %+v", c.Lock)
+		}
+		if c.Lock.FastPath == 0 {
+			t.Fatal("writes must appear as fast-path acquires")
+		}
+	})
+}

@@ -88,6 +88,11 @@ type Result struct {
 	Infos []engine.TxInfo
 	// Final holds the final committed value of every item.
 	Final map[string]int64
+	// Contention is the engine's lock/sequencer counter snapshot after
+	// the schedule ran: in a deterministic schedule, Lock.Waits equals
+	// the number of steps that blocked (plus FUW re-waits), making the
+	// sharded lock table's accounting directly checkable.
+	Contention engine.ContentionStats
 }
 
 // Value returns the value read by the i-th dispatched step.
@@ -520,6 +525,7 @@ func (sc *sched) finalize() {
 
 	sc.res.Infos = sc.chk.Infos()
 	sc.res.Report = sc.chk.Analyze()
+	sc.res.Contention = sc.db.Contention()
 	sc.res.Final = make(map[string]int64)
 	_ = sc.db.ScanLatest(histories.Table, func(key core.Value, rec core.Record) bool {
 		sc.res.Final[key.S] = rec[1].Int64()

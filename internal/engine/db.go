@@ -96,11 +96,23 @@ type DB struct {
 	log     *wal.WAL
 	machine *simres.Machine
 
-	// commitMu orders updating commits; commitSeq is the global commit
-	// sequence number (CSN). Begin takes a read lock so a snapshot never
-	// observes a half-stamped commit.
-	commitMu  sync.RWMutex
-	commitSeq uint64
+	// Commit sequencing. The old design held one RWMutex across the
+	// whole stamping loop (every snapshot blocked behind every commit);
+	// the sequencer now has two short phases. allocCSN hands out the
+	// next CSN under seqMu; the committer stamps its versions with no
+	// global lock held (write conflicts are already excluded per row by
+	// the sharded lock table — the stamped rows are X-locked by this
+	// transaction); publishCSN then advances visibleCSN in CSN order, so
+	// a snapshot (an atomic load of visibleCSN) can never observe a
+	// half-stamped commit: versions with CSN > visibleCSN are simply
+	// not visible yet.
+	seqMu      sync.Mutex
+	seqWaiters map[uint64]chan struct{} // csn → its committer's wait channel
+	nextCSN    uint64                   // last allocated CSN; guarded by seqMu
+	visibleCSN atomic.Uint64
+	// seqWaits counts commits that had to wait in publishCSN for an
+	// earlier CSN to publish (commit-sequencer contention).
+	seqWaits atomic.Uint64
 
 	nextTxID atomic.Uint64
 
@@ -127,10 +139,47 @@ func Open(cfg Config) *DB {
 		log:     wal.New(cfg.WAL),
 		machine: simres.New(cfg.Res),
 	}
+	db.seqWaiters = make(map[uint64]chan struct{})
 	if cfg.Mode == core.SerializableSI {
 		db.ssi = newSSIState()
 	}
 	return db
+}
+
+// allocCSN assigns the next commit sequence number. The critical
+// section is a counter increment; stamping happens outside it.
+func (db *DB) allocCSN() uint64 {
+	db.seqMu.Lock()
+	db.nextCSN++
+	csn := db.nextCSN
+	db.seqMu.Unlock()
+	return csn
+}
+
+// publishCSN makes csn visible to new snapshots, in CSN order: a
+// committer whose predecessor is still stamping waits here. The wait is
+// bounded — between allocCSN and publishCSN a committer only stamps
+// already-X-locked rows and index entries, never blocks on a lock — so
+// the sequencer cannot deadlock. Publication is an exact handoff, not a
+// broadcast: a committer that arrives early parks on its own channel,
+// and whoever publishes csn-1 closes it — each advance wakes exactly
+// the one goroutine that can make progress.
+func (db *DB) publishCSN(csn uint64) {
+	db.seqMu.Lock()
+	if db.visibleCSN.Load() != csn-1 {
+		db.seqWaits.Add(1)
+		ch := make(chan struct{})
+		db.seqWaiters[csn] = ch
+		db.seqMu.Unlock()
+		<-ch // closed by csn-1's publisher, after visibleCSN reaches csn-1
+		db.seqMu.Lock()
+	}
+	db.visibleCSN.Store(csn)
+	if ch, ok := db.seqWaiters[csn+1]; ok {
+		delete(db.seqWaiters, csn+1)
+		close(ch)
+	}
+	db.seqMu.Unlock()
 }
 
 // Close shuts the simulated log device down.
@@ -188,11 +237,35 @@ func (db *DB) SetWaitObserver(o WaitObserver) {
 	})
 }
 
-// CommitSeq returns the current global commit sequence number.
-func (db *DB) CommitSeq() uint64 {
-	db.commitMu.RLock()
-	defer db.commitMu.RUnlock()
-	return db.commitSeq
+// CommitSeq returns the current global commit sequence number (the
+// newest published CSN).
+func (db *DB) CommitSeq() uint64 { return db.visibleCSN.Load() }
+
+// ContentionStats aggregates the engine's synchronization counters: the
+// sharded lock table's per-stripe wait/deadlock statistics and the
+// commit sequencer's publish waits. The workload driver reports the
+// delta over a measurement interval alongside throughput.
+type ContentionStats struct {
+	Lock storage.LockStats
+	// CommitPublishWaits counts commits that waited for an earlier CSN
+	// to finish stamping before publishing their own.
+	CommitPublishWaits uint64
+}
+
+// Delta returns s minus an earlier snapshot.
+func (s ContentionStats) Delta(prev ContentionStats) ContentionStats {
+	return ContentionStats{
+		Lock:               s.Lock.Delta(prev.Lock),
+		CommitPublishWaits: s.CommitPublishWaits - prev.CommitPublishWaits,
+	}
+}
+
+// Contention snapshots the engine's contention counters.
+func (db *DB) Contention() ContentionStats {
+	return ContentionStats{
+		Lock:               db.locks.Stats(),
+		CommitPublishWaits: db.seqWaits.Load(),
+	}
 }
 
 // Stats returns cumulative commit and abort counts.
@@ -210,9 +283,9 @@ func (db *DB) Begin() *Tx {
 	// it precedes the first data access.
 	db.machine.UseCPU(db.machine.TxnCost(0))
 
-	db.commitMu.RLock()
-	start := db.commitSeq
-	db.commitMu.RUnlock()
+	// The snapshot point is one atomic load: every CSN ≤ visibleCSN is
+	// fully stamped (publishCSN advances in order, after stamping).
+	start := db.visibleCSN.Load()
 
 	tx := &Tx{
 		db:    db,

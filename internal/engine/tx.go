@@ -449,8 +449,12 @@ func (tx *Tx) Commit() error {
 	}
 
 	if len(tx.writes) > 0 || len(tx.sfus) > 0 {
-		tx.db.commitMu.Lock()
-		csn := tx.db.commitSeq + 1
+		// Commit sequencing is two short critical sections around a
+		// lock-free stamping phase: allocate the CSN, stamp versions and
+		// index entries (safe without a global lock — every stamped row
+		// is X-locked by this transaction, and new snapshots cannot see
+		// the CSN until it is published), then publish in CSN order.
+		csn := tx.db.allocCSN()
 		for _, w := range tx.writes {
 			w.ver.MarkCommitted(csn)
 			info.Writes = append(info.Writes, VersionRef{Table: w.table.Name(), Key: w.key, CSN: csn})
@@ -468,8 +472,7 @@ func (tx *Tx) Commit() error {
 			s.row.NoteSFUCommit(csn)
 			info.SFU = append(info.SFU, VersionRef{Table: s.table.Name(), Key: s.key, CSN: csn})
 		}
-		tx.db.commitSeq = csn
-		tx.db.commitMu.Unlock()
+		tx.db.publishCSN(csn)
 		info.CommitCSN = csn
 	} else {
 		// Read-only: logically commits at its snapshot.

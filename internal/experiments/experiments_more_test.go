@@ -152,6 +152,12 @@ func TestAblationAdvisorQuick(t *testing.T) {
 
 func TestAblationLatencyQuick(t *testing.T) {
 	cfg := tinyCfg()
+	// Full scale, not tinyCfg's 0.1: the asserted signal (queueing delay on
+	// the simulated single CPU) must dominate the per-transaction real CPU
+	// cost, which the race detector inflates ~10x. At scale 0.1 the two are
+	// the same order of magnitude and the comparison below is noise.
+	cfg.Scale = 1.0
+	cfg.Measure = 100 * time.Millisecond
 	cfg.MPLs = []int{1, 6}
 	res, err := runAblationLatency(cfg)
 	if err != nil {

@@ -1,0 +1,72 @@
+package metrics
+
+import "sync/atomic"
+
+// contentionShard is one counter cell, padded out to a cache line so
+// that concurrent increments on different shards do not false-share.
+// 64 bytes covers every platform the engine targets; the value sits at
+// the start of the line.
+type contentionShard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ContentionCounter is a sharded monotonic counter for hot-path event
+// counting under concurrency: each caller increments its own shard (by
+// convention the lock-table stripe or worker index), so counting never
+// introduces the cross-core contention it is trying to measure. Reads
+// (Total, PerShard) sum over shards and are linearizable per shard but
+// only approximately consistent across shards — fine for statistics,
+// not for synchronization.
+type ContentionCounter struct {
+	shards []contentionShard
+	mask   uint64
+}
+
+// NewContentionCounter creates a counter with at least n shards,
+// rounded up to a power of two (minimum 1) so shard selection is a
+// mask, not a division.
+func NewContentionCounter(n int) *ContentionCounter {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &ContentionCounter{
+		shards: make([]contentionShard, size),
+		mask:   uint64(size - 1),
+	}
+}
+
+// Shards returns the shard count (a power of two).
+func (c *ContentionCounter) Shards() int { return len(c.shards) }
+
+// Inc adds 1 to the given shard (wrapped into range by mask).
+func (c *ContentionCounter) Inc(shard int) { c.Add(shard, 1) }
+
+// Add adds n to the given shard (wrapped into range by mask).
+func (c *ContentionCounter) Add(shard int, n uint64) {
+	c.shards[uint64(shard)&c.mask].v.Add(n)
+}
+
+// Get returns one shard's value.
+func (c *ContentionCounter) Get(shard int) uint64 {
+	return c.shards[uint64(shard)&c.mask].v.Load()
+}
+
+// Total sums all shards.
+func (c *ContentionCounter) Total() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// PerShard returns a snapshot of every shard's value.
+func (c *ContentionCounter) PerShard() []uint64 {
+	out := make([]uint64, len(c.shards))
+	for i := range c.shards {
+		out[i] = c.shards[i].v.Load()
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestContentionCounterRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}, {64, 64},
+	}
+	for _, c := range cases {
+		if got := NewContentionCounter(c.in).Shards(); got != c.want {
+			t.Errorf("NewContentionCounter(%d).Shards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContentionCounterBasics(t *testing.T) {
+	c := NewContentionCounter(4)
+	c.Inc(0)
+	c.Inc(0)
+	c.Add(3, 40)
+	c.Inc(7) // out-of-range shard wraps by mask (7&3 == 3)
+	if got := c.Get(0); got != 2 {
+		t.Errorf("Get(0) = %d, want 2", got)
+	}
+	if got := c.Get(3); got != 41 {
+		t.Errorf("Get(3) = %d, want 41", got)
+	}
+	if got := c.Total(); got != 43 {
+		t.Errorf("Total() = %d, want 43", got)
+	}
+	per := c.PerShard()
+	if len(per) != 4 || per[0] != 2 || per[1] != 0 || per[2] != 0 || per[3] != 41 {
+		t.Errorf("PerShard() = %v", per)
+	}
+}
+
+// TestContentionCounterConcurrent increments from many goroutines; the
+// total must be exact (atomic shards) and -race must stay silent.
+func TestContentionCounterConcurrent(t *testing.T) {
+	c := NewContentionCounter(8)
+	const (
+		workers = 16
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc(id % c.Shards())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Total(); got != workers*iters {
+		t.Fatalf("Total() = %d, want %d", got, workers*iters)
+	}
+	sum := uint64(0)
+	for _, v := range c.PerShard() {
+		sum += v
+	}
+	if sum != workers*iters {
+		t.Fatalf("PerShard sum = %d, want %d", sum, workers*iters)
+	}
+}
+
+func TestLatencyRecorderSnapshot(t *testing.T) {
+	var r LatencyRecorder
+	r.Add(10 * time.Millisecond)
+	r.Add(30 * time.Millisecond)
+	snap := r.Snapshot()
+	r.Add(50 * time.Millisecond) // must not leak into the snapshot
+	if snap.Count() != 2 {
+		t.Fatalf("snapshot Count = %d, want 2", snap.Count())
+	}
+	if got := snap.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("snapshot Mean = %v, want 20ms", got)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("original Count = %d, want 3", r.Count())
+	}
+}
+
+// TestLatencyRecorderMisuseDetected pins the guard: a recorder observed
+// mid-operation (the bug class the single-owner contract forbids)
+// panics instead of corrupting its sample slice.
+func TestLatencyRecorderMisuseDetected(t *testing.T) {
+	var r LatencyRecorder
+	r.enter() // simulate another goroutine inside an operation
+	defer func() {
+		if recover() == nil {
+			t.Fatal("concurrent Add did not panic")
+		}
+	}()
+	r.Add(time.Millisecond)
+}
+
+// TestLatencyRecorderSelfMergePanics: Merge(r, r) would deadlock or
+// double-count in a lock-based design; the guard turns it into a panic.
+func TestLatencyRecorderSelfMergePanics(t *testing.T) {
+	var r LatencyRecorder
+	r.Add(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-merge did not panic")
+		}
+	}()
+	r.Merge(&r)
+}
+
+// TestLatencyRecorderMergeSnapshot is the sanctioned cross-goroutine
+// pattern: workers record privately, the coordinator merges snapshots.
+func TestLatencyRecorderMergeSnapshot(t *testing.T) {
+	var workers [4]LatencyRecorder
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(r *LatencyRecorder) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(time.Duration(j) * time.Microsecond)
+			}
+		}(&workers[i])
+	}
+	wg.Wait()
+	var total LatencyRecorder
+	for i := range workers {
+		total.Merge(workers[i].Snapshot())
+	}
+	if total.Count() != 400 {
+		t.Fatalf("merged Count = %d, want 400", total.Count())
+	}
+}

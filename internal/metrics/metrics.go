@@ -7,28 +7,75 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
 // LatencyRecorder accumulates durations. It is NOT safe for concurrent
-// use: each workload client owns one and they are merged afterwards.
+// use: each workload client owns one and they are merged afterwards
+// (via Snapshot or Merge, on the merging goroutine, after the owning
+// goroutine has finished). Because the single-owner rule is easy to
+// break by accident in driver merge code, every entry point carries a
+// lightweight misuse detector: overlapping calls from two goroutines
+// panic with a clear message instead of silently corrupting samples.
 type LatencyRecorder struct {
+	busy    int32 // misuse detector; 1 while a call is in progress
 	samples []time.Duration
 }
 
+// enter/exit bracket every method. The CAS costs two uncontended
+// atomic ops in correct single-owner use; on concurrent use exactly
+// one of the racing calls panics before touching the sample slice, so
+// the detector itself never introduces a data race.
+func (r *LatencyRecorder) enter() {
+	if !atomic.CompareAndSwapInt32(&r.busy, 0, 1) {
+		panic("metrics: concurrent LatencyRecorder use (it is single-owner; merge via Snapshot after the owner finishes)")
+	}
+}
+
+func (r *LatencyRecorder) exit() { atomic.StoreInt32(&r.busy, 0) }
+
 // Add records one sample.
-func (r *LatencyRecorder) Add(d time.Duration) { r.samples = append(r.samples, d) }
+func (r *LatencyRecorder) Add(d time.Duration) {
+	r.enter()
+	defer r.exit()
+	r.samples = append(r.samples, d)
+}
 
 // Count returns the number of samples.
-func (r *LatencyRecorder) Count() int { return len(r.samples) }
+func (r *LatencyRecorder) Count() int {
+	r.enter()
+	defer r.exit()
+	return len(r.samples)
+}
 
-// Merge appends another recorder's samples.
+// Merge appends another recorder's samples. Both recorders must be
+// quiescent (their owners finished); merging a recorder into itself is
+// misuse and panics.
 func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	r.enter()
+	defer r.exit()
+	o.enter()
+	defer o.exit()
 	r.samples = append(r.samples, o.samples...)
+}
+
+// Snapshot returns an independent copy of the recorder. It is the safe
+// hand-off point for driver merge paths: the owner goroutine finishes,
+// the merger snapshots, and the copy can be merged or inspected without
+// aliasing the owner's backing array.
+func (r *LatencyRecorder) Snapshot() *LatencyRecorder {
+	r.enter()
+	defer r.exit()
+	out := &LatencyRecorder{samples: make([]time.Duration, len(r.samples))}
+	copy(out.samples, r.samples)
+	return out
 }
 
 // Mean returns the average latency (0 when empty).
 func (r *LatencyRecorder) Mean() time.Duration {
+	r.enter()
+	defer r.exit()
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -42,6 +89,8 @@ func (r *LatencyRecorder) Mean() time.Duration {
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 when
 // empty.
 func (r *LatencyRecorder) Quantile(q float64) time.Duration {
+	r.enter()
+	defer r.exit()
 	if len(r.samples) == 0 {
 		return 0
 	}

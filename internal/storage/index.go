@@ -18,28 +18,47 @@ type indexEntry struct {
 	deleted bool   // tombstone written by a delete
 }
 
+// indexStripes is the number of hash partitions of an index's entry
+// map. Lookups take a stripe read lock, so the hot read path (SmallBank
+// resolves every customer name through the Account index) scales with
+// cores instead of serializing on one mutex.
+const indexStripes = 16
+
+// indexStripe is one partition of the entry map.
+type indexStripe struct {
+	mu      sync.RWMutex
+	entries map[core.Value][]*indexEntry // newest first
+}
+
 // UniqueIndex is a unique secondary index: at most one live committed
 // entry per indexed value. SmallBank declares one on Account.CustomerID.
+// Entry chains are striped by indexed value; the per-transaction
+// pending lists live under their own mutex (they are touched once per
+// write and once at commit/abort, never on the read path).
 type UniqueIndex struct {
 	table  string
 	column string
 	colPos int
 
-	mu      sync.Mutex
-	entries map[core.Value][]*indexEntry // newest first
-	pending map[uint64][]*indexEntry     // per in-flight transaction
+	stripes [indexStripes]indexStripe
+
+	pendMu  sync.Mutex
+	pending map[uint64][]*indexEntry // per in-flight transaction
 }
 
 // NewUniqueIndex creates an empty index over the column at position
 // colPos of the named table.
 func NewUniqueIndex(table, column string, colPos int) *UniqueIndex {
-	return &UniqueIndex{
+	ix := &UniqueIndex{
 		table:   table,
 		column:  column,
 		colPos:  colPos,
-		entries: make(map[core.Value][]*indexEntry),
 		pending: make(map[uint64][]*indexEntry),
 	}
+	for i := range ix.stripes {
+		ix.stripes[i].entries = make(map[core.Value][]*indexEntry)
+	}
+	return ix
 }
 
 // Column returns the indexed column's name.
@@ -48,6 +67,27 @@ func (ix *UniqueIndex) Column() string { return ix.column }
 // ColPos returns the indexed column's position in the table schema.
 func (ix *UniqueIndex) ColPos() int { return ix.colPos }
 
+// stripe returns the partition holding val's entry chain.
+func (ix *UniqueIndex) stripe(val core.Value) *indexStripe {
+	return &ix.stripes[hashValue(val)&(indexStripes-1)]
+}
+
+// addPending records e on tx's pending list.
+func (ix *UniqueIndex) addPending(tx uint64, e *indexEntry) {
+	ix.pendMu.Lock()
+	ix.pending[tx] = append(ix.pending[tx], e)
+	ix.pendMu.Unlock()
+}
+
+// takePending removes and returns tx's pending list.
+func (ix *UniqueIndex) takePending(tx uint64) []*indexEntry {
+	ix.pendMu.Lock()
+	list := ix.pending[tx]
+	delete(ix.pending, tx)
+	ix.pendMu.Unlock()
+	return list
+}
+
 // Insert registers an uncommitted entry mapping val to pk for
 // transaction tx. It returns core.ErrUniqueViolation when a conflicting
 // entry exists: a committed live entry, or an uncommitted entry from
@@ -55,9 +95,9 @@ func (ix *UniqueIndex) ColPos() int { return ix.colPos }
 // conflicts; the loader and tests are the only writers of indexed
 // columns in the benchmark).
 func (ix *UniqueIndex) Insert(tx uint64, val, pk core.Value) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, e := range ix.entries[val] {
+	s := ix.stripe(val)
+	s.mu.Lock()
+	for _, e := range s.entries[val] {
 		if e.deleted {
 			if e.csn != 0 || e.creator == tx {
 				// Committed tombstone (or our own): value is free below
@@ -67,32 +107,37 @@ func (ix *UniqueIndex) Insert(tx uint64, val, pk core.Value) error {
 			continue
 		}
 		if e.creator == tx && e.csn == 0 && e.pk == pk {
+			s.mu.Unlock()
 			return nil // idempotent re-insert within the transaction
 		}
+		s.mu.Unlock()
 		return core.ErrUniqueViolation
 	}
 	e := &indexEntry{val: val, pk: pk, creator: tx}
-	ix.entries[val] = append([]*indexEntry{e}, ix.entries[val]...)
-	ix.pending[tx] = append(ix.pending[tx], e)
+	s.entries[val] = append([]*indexEntry{e}, s.entries[val]...)
+	s.mu.Unlock()
+	ix.addPending(tx, e)
 	return nil
 }
 
 // Delete registers an uncommitted tombstone for val written by tx. The
 // tombstone becomes effective at commit; abort discards it.
 func (ix *UniqueIndex) Delete(tx uint64, val core.Value) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	s := ix.stripe(val)
 	e := &indexEntry{val: val, creator: tx, deleted: true}
-	ix.entries[val] = append([]*indexEntry{e}, ix.entries[val]...)
-	ix.pending[tx] = append(ix.pending[tx], e)
+	s.mu.Lock()
+	s.entries[val] = append([]*indexEntry{e}, s.entries[val]...)
+	s.mu.Unlock()
+	ix.addPending(tx, e)
 }
 
 // Lookup returns the primary key mapped from val as seen by a snapshot,
 // honouring the reader's own uncommitted entries.
 func (ix *UniqueIndex) Lookup(snapshotCSN, self uint64, val core.Value) (core.Value, bool) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, e := range ix.entries[val] {
+	s := ix.stripe(val)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.entries[val] {
 		visible := e.creator == self || (e.csn != 0 && e.csn <= snapshotCSN)
 		if !visible {
 			continue
@@ -105,22 +150,24 @@ func (ix *UniqueIndex) Lookup(snapshotCSN, self uint64, val core.Value) (core.Va
 	return core.Value{}, false
 }
 
-// Commit stamps all of tx's uncommitted entries with csn.
+// Commit stamps all of tx's uncommitted entries with csn. Each stamp is
+// applied under the entry's stripe lock so concurrent Lookups never see
+// a torn CSN.
 func (ix *UniqueIndex) Commit(tx, csn uint64) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, e := range ix.pending[tx] {
+	for _, e := range ix.takePending(tx) {
+		s := ix.stripe(e.val)
+		s.mu.Lock()
 		e.csn = csn
+		s.mu.Unlock()
 	}
-	delete(ix.pending, tx)
 }
 
 // Abort removes all of tx's uncommitted entries.
 func (ix *UniqueIndex) Abort(tx uint64) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, pe := range ix.pending[tx] {
-		chain := ix.entries[pe.val]
+	for _, pe := range ix.takePending(tx) {
+		s := ix.stripe(pe.val)
+		s.mu.Lock()
+		chain := s.entries[pe.val]
 		kept := chain[:0]
 		for _, e := range chain {
 			if e != pe {
@@ -128,10 +175,10 @@ func (ix *UniqueIndex) Abort(tx uint64) {
 			}
 		}
 		if len(kept) == 0 {
-			delete(ix.entries, pe.val)
+			delete(s.entries, pe.val)
 		} else {
-			ix.entries[pe.val] = kept
+			s.entries[pe.val] = kept
 		}
+		s.mu.Unlock()
 	}
-	delete(ix.pending, tx)
 }

@@ -2,8 +2,10 @@ package storage
 
 import (
 	"sync"
+	"time"
 
 	"sicost/internal/core"
+	"sicost/internal/metrics"
 )
 
 // LockMode is the strength of a row lock.
@@ -64,112 +66,321 @@ func (l *lock) compatibleWithHolders(tx uint64, mode LockMode) bool {
 // invoked synchronously from the goroutine that resolves the wait (the
 // releaser), before that goroutine's own operation returns, which is what
 // lets a deterministic scheduler (internal/detsim) attribute every wakeup
-// to the exact step that caused it. Hooks run with the table's mutex held
-// and must not call back into the LockTable.
+// to the exact step that caused it. Hooks run with lock-table stripe
+// mutexes held (OnWait with every stripe held, OnWake with the key's
+// stripe held) and must not call back into the LockTable.
 type WaitHooks struct {
 	OnWait func(tx uint64, key LockKey)
 	OnWake func(tx uint64, key LockKey, err error)
 }
 
+// DefaultLockStripes is the stripe count of NewLockTable: enough that
+// independent transactions on a many-core machine rarely collide on a
+// stripe mutex, small enough that the all-stripes deadlock-check path
+// stays cheap.
+const DefaultLockStripes = 64
+
+// lockStripe is one hash partition of the lock table: its own mutex and
+// lock map, so lock traffic on rows that hash to different stripes
+// never serializes.
+type lockStripe struct {
+	mu    sync.Mutex
+	locks map[LockKey]*lock
+}
+
+// txShard holds per-transaction bookkeeping, sharded by transaction id
+// (a different hash space than the key stripes): which keys each
+// transaction holds and where it has queued waiters. ReleaseAll uses it
+// to visit exactly the stripes a transaction touched instead of
+// sweeping the whole table.
+type txShard struct {
+	mu     sync.Mutex
+	held   map[uint64][]LockKey
+	queued map[uint64][]LockKey
+}
+
 // LockTable is the engine's lock manager: row-granularity S/X locks with
 // FIFO wait queues, lock upgrade, and waits-for deadlock detection that
 // aborts the requester closing a cycle (returning core.ErrDeadlock).
+//
+// The table is hash-sharded into stripes (PostgreSQL's lock-manager
+// partitioning). Grants that do not block touch exactly one stripe plus
+// the requester's txShard. A request that must wait takes the slow
+// path: it locks every stripe in canonical (index) order — making the
+// waits-for edge snapshot globally consistent and the lock order
+// cycle-free — re-checks grantability, runs deadlock detection over the
+// snapshot, and only then queues. Release and wake-up are per-stripe
+// again.
+//
+// Mutex order: stripe mutexes in ascending index, then txShard
+// mutexes. Code holding a txShard mutex never acquires a stripe mutex.
 type LockTable struct {
-	mu    sync.Mutex
-	locks map[LockKey]*lock
-	held  map[uint64][]LockKey // per-transaction held keys, for ReleaseAll
-	hooks WaitHooks
+	stripes []*lockStripe
+	mask    uint64
+	txs     []*txShard
+	txMask  uint64
+	hooks   WaitHooks
+
+	// lockPool recycles lock entries (with their holder maps) across
+	// the acquire/release churn of short transactions.
+	lockPool sync.Pool
+
+	// Per-stripe contention counters (shard = stripe index): fastPath
+	// counts acquires granted without blocking, waits counts acquires
+	// that queued, deadlocks counts requests denied with ErrDeadlock,
+	// and waitNanos accumulates blocked time.
+	fastPath  *metrics.ContentionCounter
+	waits     *metrics.ContentionCounter
+	deadlocks *metrics.ContentionCounter
+	waitNanos *metrics.ContentionCounter
+}
+
+// NewLockTable creates an empty lock manager with DefaultLockStripes
+// stripes.
+func NewLockTable() *LockTable { return NewLockTableStriped(DefaultLockStripes) }
+
+// NewLockTableStriped creates a lock manager with at least n stripes
+// (rounded up to a power of two, minimum 1). n = 1 degenerates to the
+// classic single-mutex lock table; the property tests exploit this to
+// check the sharded and unsharded code paths observably agree.
+func NewLockTableStriped(n int) *LockTable {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	lt := &LockTable{
+		stripes:   make([]*lockStripe, size),
+		mask:      uint64(size - 1),
+		txs:       make([]*txShard, size),
+		txMask:    uint64(size - 1),
+		fastPath:  metrics.NewContentionCounter(size),
+		waits:     metrics.NewContentionCounter(size),
+		deadlocks: metrics.NewContentionCounter(size),
+		waitNanos: metrics.NewContentionCounter(size),
+	}
+	lt.lockPool.New = func() any {
+		return &lock{holders: make(map[uint64]LockMode, 2)}
+	}
+	for i := range lt.stripes {
+		lt.stripes[i] = &lockStripe{locks: make(map[LockKey]*lock)}
+		lt.txs[i] = &txShard{
+			held:   make(map[uint64][]LockKey),
+			queued: make(map[uint64][]LockKey),
+		}
+	}
+	return lt
+}
+
+// Stripes returns the stripe count (a power of two).
+func (lt *LockTable) Stripes() int { return len(lt.stripes) }
+
+// stripeIndex maps a key to its stripe.
+func (lt *LockTable) stripeIndex(key LockKey) int {
+	return int(hashLockKey(key) & lt.mask)
+}
+
+// txShardOf maps a transaction id to its bookkeeping shard. Transaction
+// ids are sequential, so the low bits alone spread them evenly.
+func (lt *LockTable) txShardOf(tx uint64) *txShard {
+	return lt.txs[tx&lt.txMask]
+}
+
+// newLock takes a recycled (or fresh) empty lock entry.
+func (lt *LockTable) newLock() *lock { return lt.lockPool.Get().(*lock) }
+
+// freeLock recycles an entry that was just removed from a stripe map.
+// Caller guarantees holders and queue are empty and no concurrent
+// reference exists (entries are only reachable through stripe maps,
+// under the stripe mutex).
+func (lt *LockTable) freeLock(l *lock) {
+	l.queue = nil
+	lt.lockPool.Put(l)
+}
+
+// addHeld records that tx holds key.
+func (lt *LockTable) addHeld(tx uint64, key LockKey) {
+	sh := lt.txShardOf(tx)
+	sh.mu.Lock()
+	sh.held[tx] = append(sh.held[tx], key)
+	sh.mu.Unlock()
+}
+
+// removeHeld drops one record of tx holding key.
+func (lt *LockTable) removeHeld(tx uint64, key LockKey) {
+	sh := lt.txShardOf(tx)
+	sh.mu.Lock()
+	keys := sh.held[tx]
+	for i, k := range keys {
+		if k == key {
+			sh.held[tx] = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+	if len(sh.held[tx]) == 0 {
+		delete(sh.held, tx)
+	}
+	sh.mu.Unlock()
+}
+
+// addQueued records that tx has a queued waiter on key.
+func (lt *LockTable) addQueued(tx uint64, key LockKey) {
+	sh := lt.txShardOf(tx)
+	sh.mu.Lock()
+	sh.queued[tx] = append(sh.queued[tx], key)
+	sh.mu.Unlock()
+}
+
+// removeQueued drops one record of tx waiting on key.
+func (lt *LockTable) removeQueued(tx uint64, key LockKey) {
+	sh := lt.txShardOf(tx)
+	sh.mu.Lock()
+	keys := sh.queued[tx]
+	for i, k := range keys {
+		if k == key {
+			sh.queued[tx] = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+	if len(sh.queued[tx]) == 0 {
+		delete(sh.queued, tx)
+	}
+	sh.mu.Unlock()
+}
+
+// lockAll acquires every stripe mutex in canonical (ascending index)
+// order; unlockAll releases them. All cross-stripe operations use this
+// order, so stripe mutexes can never deadlock against each other.
+func (lt *LockTable) lockAll() {
+	for _, s := range lt.stripes {
+		s.mu.Lock()
+	}
+}
+
+func (lt *LockTable) unlockAll() {
+	for i := len(lt.stripes) - 1; i >= 0; i-- {
+		lt.stripes[i].mu.Unlock()
+	}
 }
 
 // SetHooks installs wait/wake observers (zero value disables). Not safe
 // to call while transactions are in flight.
 func (lt *LockTable) SetHooks(h WaitHooks) {
-	lt.mu.Lock()
+	lt.lockAll()
 	lt.hooks = h
-	lt.mu.Unlock()
+	lt.unlockAll()
 }
 
-// notifyWait invokes the OnWait hook. Caller holds lt.mu.
+// notifyWait invokes the OnWait hook. Caller holds the key's stripe
+// mutex (the slow path holds every stripe).
 func (lt *LockTable) notifyWait(tx uint64, key LockKey) {
 	if lt.hooks.OnWait != nil {
 		lt.hooks.OnWait(tx, key)
 	}
 }
 
-// notifyWake invokes the OnWake hook. Caller holds lt.mu.
+// notifyWake invokes the OnWake hook. Caller holds the key's stripe
+// mutex.
 func (lt *LockTable) notifyWake(tx uint64, key LockKey, err error) {
 	if lt.hooks.OnWake != nil {
 		lt.hooks.OnWake(tx, key, err)
 	}
 }
 
-// NewLockTable creates an empty lock manager.
-func NewLockTable() *LockTable {
-	return &LockTable{
-		locks: make(map[LockKey]*lock),
-		held:  make(map[uint64][]LockKey),
+// tryGrantLocked attempts to grant (tx, key, mode) without waiting:
+// re-acquisition of a held lock, sole-holder upgrade, or a fresh grant
+// when the queue is empty and every holder is compatible. It mutates
+// state only when it grants. Caller holds s.mu.
+func (lt *LockTable) tryGrantLocked(s *lockStripe, tx uint64, key LockKey, mode LockMode) bool {
+	l := s.locks[key]
+	if l == nil {
+		l = lt.newLock()
+		l.holders[tx] = mode
+		s.locks[key] = l
+		lt.addHeld(tx, key)
+		return true
 	}
+	if hm, holds := l.holders[tx]; holds {
+		if hm == Exclusive || hm == mode {
+			return true // already strong enough
+		}
+		// Shared → Exclusive upgrade: jumps the queue when tx is the
+		// sole holder, which is how real lock managers avoid trivial
+		// upgrade deadlocks.
+		if l.compatibleWithHolders(tx, Exclusive) {
+			l.holders[tx] = Exclusive
+			return true
+		}
+		return false
+	}
+	if len(l.queue) == 0 && l.compatibleWithHolders(tx, mode) {
+		l.holders[tx] = mode
+		lt.addHeld(tx, key)
+		return true
+	}
+	return false
 }
 
 // Acquire obtains the lock on key at the given mode for tx, blocking
 // while incompatible holders or earlier waiters exist. It returns
 // core.ErrDeadlock when waiting would close a cycle in the waits-for
 // graph. Re-acquiring a held lock is a no-op; Shared→Exclusive upgrades
-// are honoured (jumping the queue when tx is the sole holder, which is
-// how real lock managers avoid trivial upgrade deadlocks).
+// are honoured (jumping the queue when tx is the sole holder).
 func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
-	lt.mu.Lock()
-	l := lt.locks[key]
-	if l == nil {
-		l = &lock{holders: make(map[uint64]LockMode)}
-		lt.locks[key] = l
-	}
-
-	if hm, holds := l.holders[tx]; holds {
-		if hm == Exclusive || hm == mode {
-			lt.mu.Unlock()
-			return nil // already strong enough
-		}
-		// Shared → Exclusive upgrade.
-		if l.compatibleWithHolders(tx, Exclusive) {
-			l.holders[tx] = Exclusive
-			lt.mu.Unlock()
-			return nil
-		}
-		// Must wait for other shared holders to drain. Upgrades go to
-		// the front of the queue.
-		w := &waiter{tx: tx, mode: Exclusive, ready: make(chan error, 1)}
-		if lt.wouldDeadlock(tx, l) {
-			lt.mu.Unlock()
-			return core.ErrDeadlock
-		}
-		l.queue = append([]*waiter{w}, l.queue...)
-		lt.notifyWait(tx, key)
-		lt.mu.Unlock()
-		return <-w.ready
-	}
-
-	if len(l.queue) == 0 && l.compatibleWithHolders(tx, mode) {
-		l.holders[tx] = mode
-		lt.held[tx] = append(lt.held[tx], key)
-		lt.mu.Unlock()
+	idx := lt.stripeIndex(key)
+	s := lt.stripes[idx]
+	s.mu.Lock()
+	granted := lt.tryGrantLocked(s, tx, key, mode)
+	s.mu.Unlock()
+	if granted {
+		lt.fastPath.Inc(idx)
 		return nil
 	}
+	return lt.acquireSlow(tx, key, mode, idx)
+}
 
-	w := &waiter{tx: tx, mode: mode, ready: make(chan error, 1)}
+// acquireSlow is the blocking path: with every stripe locked in
+// canonical order it re-checks grantability (the state may have moved
+// between the fast path and here), snapshots the global waits-for
+// relation for deadlock detection, and queues the request. The wait
+// itself happens with no stripe mutex held.
+func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int) error {
+	s := lt.stripes[idx]
+	lt.lockAll()
+	if lt.tryGrantLocked(s, tx, key, mode) {
+		lt.unlockAll()
+		lt.fastPath.Inc(idx)
+		return nil
+	}
+	l := s.locks[key] // non-nil: tryGrantLocked grants when absent
 	if lt.wouldDeadlock(tx, l) {
-		lt.mu.Unlock()
+		lt.unlockAll()
+		lt.deadlocks.Inc(idx)
 		return core.ErrDeadlock
 	}
-	l.queue = append(l.queue, w)
+	_, upgrade := l.holders[tx]
+	w := &waiter{tx: tx, mode: mode, ready: make(chan error, 1)}
+	if upgrade {
+		// Upgrades wait only for the other shared holders to drain and
+		// go to the front of the queue.
+		w.mode = Exclusive
+		l.queue = append([]*waiter{w}, l.queue...)
+	} else {
+		l.queue = append(l.queue, w)
+	}
+	lt.addQueued(tx, key)
 	lt.notifyWait(tx, key)
-	lt.mu.Unlock()
-	return <-w.ready
+	lt.unlockAll()
+	lt.waits.Inc(idx)
+	start := time.Now()
+	err := <-w.ready
+	lt.waitNanos.Add(idx, uint64(time.Since(start)))
+	return err
 }
 
 // wouldDeadlock reports whether tx blocking on lock l closes a cycle in
-// the waits-for graph. Called with lt.mu held. The requester waits for
-// every incompatible holder and every queued waiter of l; transitively, a
+// the waits-for graph. Called with every stripe mutex held, so the edge
+// snapshot is globally consistent. The requester waits for every
+// incompatible holder and every queued waiter of l; transitively, a
 // blocked transaction waits for the holders/queue of the lock it is
 // queued on.
 func (lt *LockTable) wouldDeadlock(tx uint64, l *lock) bool {
@@ -184,19 +395,21 @@ func (lt *LockTable) wouldDeadlock(tx uint64, l *lock) bool {
 			return false
 		}
 		visited[from] = true
-		for _, lk := range lt.locks {
-			for _, w := range lk.queue {
-				if w.tx != from {
-					continue
-				}
-				for h := range lk.holders {
-					if h != from && reaches(h) {
-						return true
+		for _, s := range lt.stripes {
+			for _, lk := range s.locks {
+				for _, w := range lk.queue {
+					if w.tx != from {
+						continue
 					}
-				}
-				for _, w2 := range lk.queue {
-					if w2.tx != from && reaches(w2.tx) {
-						return true
+					for h := range lk.holders {
+						if h != from && reaches(h) {
+							return true
+						}
+					}
+					for _, w2 := range lk.queue {
+						if w2.tx != from && reaches(w2.tx) {
+							return true
+						}
 					}
 				}
 			}
@@ -218,72 +431,90 @@ func (lt *LockTable) wouldDeadlock(tx uint64, l *lock) bool {
 
 // Release drops tx's lock on key (if held) and grants to waiters.
 func (lt *LockTable) Release(tx uint64, key LockKey) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	lt.releaseLocked(tx, key)
-	keys := lt.held[tx]
-	for i, k := range keys {
-		if k == key {
-			lt.held[tx] = append(keys[:i], keys[i+1:]...)
-			break
-		}
+	s := lt.stripes[lt.stripeIndex(key)]
+	s.mu.Lock()
+	released := lt.releaseLocked(s, tx, key)
+	s.mu.Unlock()
+	if released {
+		lt.removeHeld(tx, key)
 	}
 }
 
 // ReleaseAll drops every lock tx holds and removes tx from any wait
-// queues (a belt-and-braces cleanup for aborted transactions).
+// queues (a belt-and-braces cleanup for aborted transactions). The
+// txShard bookkeeping names exactly the keys involved, so only the
+// stripes tx touched are visited. The loop absorbs the one race this
+// has: a concurrent releaser may grant tx's queued waiter between the
+// snapshot and the ejection, turning a queued entry into a held one —
+// the next pass releases it. Each pass strictly shrinks tx's footprint
+// (tx issues no new acquires while dying), so the loop terminates.
 func (lt *LockTable) ReleaseAll(tx uint64) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	for _, key := range lt.held[tx] {
-		lt.releaseLocked(tx, key)
-	}
-	delete(lt.held, tx)
-	// Remove any dangling queued requests by tx (e.g. a racing Acquire
-	// that lost to an abort). Grant whatever becomes available.
-	for key, l := range lt.locks {
-		changed := false
-		kept := l.queue[:0]
-		for _, w := range l.queue {
-			if w.tx == tx {
-				lt.notifyWake(w.tx, key, core.ErrDeadlock)
-				w.ready <- core.ErrDeadlock
-				changed = true
-				continue
-			}
-			kept = append(kept, w)
+	sh := lt.txShardOf(tx)
+	for {
+		sh.mu.Lock()
+		held := sh.held[tx]
+		queued := sh.queued[tx]
+		delete(sh.held, tx)
+		delete(sh.queued, tx)
+		sh.mu.Unlock()
+		if len(held) == 0 && len(queued) == 0 {
+			return
 		}
-		l.queue = kept
-		if changed {
-			lt.grantLocked(key, l)
+		// Eject queued requests first (e.g. a racing Acquire that lost
+		// to an abort), so a release below can never re-grant to the
+		// dying transaction's own queued upgrade.
+		for _, key := range queued {
+			s := lt.stripes[lt.stripeIndex(key)]
+			s.mu.Lock()
+			if l := s.locks[key]; l != nil {
+				for i, w := range l.queue {
+					if w.tx != tx {
+						continue
+					}
+					l.queue = append(l.queue[:i], l.queue[i+1:]...)
+					lt.notifyWake(tx, key, core.ErrDeadlock)
+					w.ready <- core.ErrDeadlock
+					lt.grantLocked(s, key, l)
+					break
+				}
+			}
+			s.mu.Unlock()
+		}
+		for _, key := range held {
+			s := lt.stripes[lt.stripeIndex(key)]
+			s.mu.Lock()
+			lt.releaseLocked(s, tx, key)
+			s.mu.Unlock()
 		}
 	}
 }
 
-// releaseLocked drops tx's hold on key and promotes waiters. Caller
-// holds lt.mu.
-func (lt *LockTable) releaseLocked(tx uint64, key LockKey) {
-	l := lt.locks[key]
+// releaseLocked drops tx's hold on key and promotes waiters, reporting
+// whether tx actually held it. Caller holds s.mu.
+func (lt *LockTable) releaseLocked(s *lockStripe, tx uint64, key LockKey) bool {
+	l := s.locks[key]
 	if l == nil {
-		return
+		return false
 	}
 	if _, held := l.holders[tx]; !held {
-		return
+		return false
 	}
 	delete(l.holders, tx)
-	lt.grantLocked(key, l)
+	lt.grantLocked(s, key, l)
+	return true
 }
 
 // grantLocked promotes as many queued waiters as compatibility allows:
 // the head waiter, then (if it was shared) consecutive shared waiters.
-// Caller holds lt.mu.
-func (lt *LockTable) grantLocked(key LockKey, l *lock) {
+// Caller holds s.mu.
+func (lt *LockTable) grantLocked(s *lockStripe, key LockKey, l *lock) {
 	for len(l.queue) > 0 {
 		w := l.queue[0]
 		if !l.compatibleWithHolders(w.tx, w.mode) {
 			break
 		}
 		l.queue = l.queue[1:]
+		lt.removeQueued(w.tx, key)
 		if prev, holds := l.holders[w.tx]; holds {
 			// Upgrade grant: strengthen in place (key already in held).
 			if w.mode == Exclusive || prev == Exclusive {
@@ -291,7 +522,7 @@ func (lt *LockTable) grantLocked(key LockKey, l *lock) {
 			}
 		} else {
 			l.holders[w.tx] = w.mode
-			lt.held[w.tx] = append(lt.held[w.tx], key)
+			lt.addHeld(w.tx, key)
 		}
 		lt.notifyWake(w.tx, key, nil)
 		w.ready <- nil
@@ -300,15 +531,17 @@ func (lt *LockTable) grantLocked(key LockKey, l *lock) {
 		}
 	}
 	if len(l.holders) == 0 && len(l.queue) == 0 {
-		delete(lt.locks, key)
+		delete(s.locks, key)
+		lt.freeLock(l)
 	}
 }
 
 // Holds reports whether tx currently holds key at least at mode.
 func (lt *LockTable) Holds(tx uint64, key LockKey, mode LockMode) bool {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	l := lt.locks[key]
+	s := lt.stripes[lt.stripeIndex(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.locks[key]
 	if l == nil {
 		return false
 	}
@@ -318,19 +551,70 @@ func (lt *LockTable) Holds(tx uint64, key LockKey, mode LockMode) bool {
 
 // HeldKeys returns the keys tx holds; diagnostics and tests.
 func (lt *LockTable) HeldKeys(tx uint64) []LockKey {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	out := make([]LockKey, len(lt.held[tx]))
-	copy(out, lt.held[tx])
+	sh := lt.txShardOf(tx)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]LockKey, len(sh.held[tx]))
+	copy(out, sh.held[tx])
 	return out
 }
 
 // QueueLen returns the number of waiters on key; diagnostics and tests.
 func (lt *LockTable) QueueLen(key LockKey) int {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	if l := lt.locks[key]; l != nil {
+	s := lt.stripes[lt.stripeIndex(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l := s.locks[key]; l != nil {
 		return len(l.queue)
 	}
 	return 0
+}
+
+// LockStats is a point-in-time snapshot of the lock manager's
+// contention counters: how often acquires were satisfied without
+// blocking, how often they queued, how long they waited, and how many
+// were denied as deadlock victims — per stripe and in aggregate. The
+// experiment harness reports these alongside throughput so lock-wait
+// time is attributable per run.
+type LockStats struct {
+	Stripes   int
+	FastPath  uint64        // acquires granted without blocking
+	Waits     uint64        // acquires that queued
+	Deadlocks uint64        // requests denied with ErrDeadlock
+	WaitTime  time.Duration // total blocked time across waiters
+
+	PerStripeWaits []uint64 // queue events by stripe (contention skew)
+}
+
+// Stats snapshots the contention counters.
+func (lt *LockTable) Stats() LockStats {
+	return LockStats{
+		Stripes:        len(lt.stripes),
+		FastPath:       lt.fastPath.Total(),
+		Waits:          lt.waits.Total(),
+		Deadlocks:      lt.deadlocks.Total(),
+		WaitTime:       time.Duration(lt.waitNanos.Total()),
+		PerStripeWaits: lt.waits.PerShard(),
+	}
+}
+
+// Delta returns s minus an earlier snapshot prev (counter-wise), for
+// windowed measurement (e.g. excluding a workload's ramp-up phase).
+func (s LockStats) Delta(prev LockStats) LockStats {
+	d := LockStats{
+		Stripes:   s.Stripes,
+		FastPath:  s.FastPath - prev.FastPath,
+		Waits:     s.Waits - prev.Waits,
+		Deadlocks: s.Deadlocks - prev.Deadlocks,
+		WaitTime:  s.WaitTime - prev.WaitTime,
+	}
+	d.PerStripeWaits = make([]uint64, len(s.PerStripeWaits))
+	for i := range d.PerStripeWaits {
+		p := uint64(0)
+		if i < len(prev.PerStripeWaits) {
+			p = prev.PerStripeWaits[i]
+		}
+		d.PerStripeWaits[i] = s.PerStripeWaits[i] - p
+	}
+	return d
 }

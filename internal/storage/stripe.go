@@ -1,0 +1,46 @@
+package storage
+
+import "sicost/internal/core"
+
+// stripe.go holds the hashing shared by the sharded lock table and the
+// striped row maps: a 64-bit FNV-1a over a Value's kind and payload,
+// extended with the table name for lock keys. Inlined by hand (rather
+// than hash/fnv) because it sits on the per-statement fast path.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// hashValue hashes one column value.
+func hashValue(v core.Value) uint64 {
+	h := fnvByte(fnvOffset64, byte(v.K))
+	h = fnvUint64(h, uint64(v.I))
+	return fnvString(h, v.S)
+}
+
+// hashLockKey hashes a lockable resource (table, row key).
+func hashLockKey(k LockKey) uint64 {
+	h := fnvString(fnvOffset64, k.Table)
+	h = fnvByte(h, byte(k.Key.K))
+	h = fnvUint64(h, uint64(k.Key.I))
+	return fnvString(h, k.Key.S)
+}

@@ -8,13 +8,26 @@ import (
 	"sicost/internal/core"
 )
 
+// tableStripes is the number of hash partitions of a table's row map
+// (a power of two). Row lookups take one stripe's read lock, so row
+// traffic on different stripes never contends on a map mutex even when
+// inserts are growing the table.
+const tableStripes = 32
+
+// rowStripe is one partition of the row map.
+type rowStripe struct {
+	mu   sync.RWMutex
+	rows map[core.Value]*Row
+}
+
 // Table is a versioned heap keyed by primary key, with any declared
-// unique secondary indexes attached.
+// unique secondary indexes attached. The key→row map is hash-striped;
+// the Row anchors themselves carry their own synchronization (lock-free
+// version chains), so the stripes only guard map access.
 type Table struct {
 	schema *core.Schema
 
-	mu   sync.RWMutex
-	rows map[core.Value]*Row
+	stripes [tableStripes]rowStripe
 
 	indexes []*UniqueIndex // parallel to schema.Unique
 }
@@ -24,9 +37,9 @@ func NewTable(schema *core.Schema) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{
-		schema: schema,
-		rows:   make(map[core.Value]*Row),
+	t := &Table{schema: schema}
+	for i := range t.stripes {
+		t.stripes[i].rows = make(map[core.Value]*Row)
 	}
 	for _, col := range schema.Unique {
 		t.indexes = append(t.indexes, NewUniqueIndex(schema.Name, schema.Columns[col].Name, col))
@@ -40,28 +53,35 @@ func (t *Table) Schema() *core.Schema { return t.schema }
 // Name returns the table name.
 func (t *Table) Name() string { return t.schema.Name }
 
+// stripe returns the partition holding key.
+func (t *Table) stripe(key core.Value) *rowStripe {
+	return &t.stripes[hashValue(key)&(tableStripes-1)]
+}
+
 // Row returns the row anchor for key, or nil if the key has never been
 // inserted.
 func (t *Table) Row(key core.Value) *Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows[key]
+	s := t.stripe(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows[key]
 }
 
 // EnsureRow returns the row anchor for key, creating an empty anchor if
 // needed (the insert path).
 func (t *Table) EnsureRow(key core.Value) *Row {
-	t.mu.RLock()
-	r := t.rows[key]
-	t.mu.RUnlock()
+	s := t.stripe(key)
+	s.mu.RLock()
+	r := s.rows[key]
+	s.mu.RUnlock()
 	if r != nil {
 		return r
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if r = t.rows[key]; r == nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r = s.rows[key]; r == nil {
 		r = &Row{}
-		t.rows[key] = r
+		s.rows[key] = r
 	}
 	return r
 }
@@ -72,21 +92,29 @@ func (t *Table) Indexes() []*UniqueIndex { return t.indexes }
 // Keys returns all primary keys with at least one version, sorted; used
 // by scans, the loader's verification pass and tests.
 func (t *Table) Keys() []core.Value {
-	t.mu.RLock()
-	keys := make([]core.Value, 0, len(t.rows))
-	for k := range t.rows {
-		keys = append(keys, k)
+	var keys []core.Value
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		for k := range s.rows {
+			keys = append(keys, k)
+		}
+		s.mu.RUnlock()
 	}
-	t.mu.RUnlock()
 	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	return keys
 }
 
 // RowCount returns the number of row anchors (including tombstoned rows).
 func (t *Table) RowCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		n += len(s.rows)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Store is a named collection of tables: one simulated database.

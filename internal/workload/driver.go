@@ -171,6 +171,10 @@ type Result struct {
 	TPS float64
 	// MeanLatency is the mean committed-interaction response time.
 	MeanLatency time.Duration
+	// Contention is the engine's synchronization-counter delta over the
+	// whole run (ramp included): lock fast-path/wait/deadlock counts,
+	// blocked time, per-stripe wait skew, commit-sequencer waits.
+	Contention engine.ContentionStats
 }
 
 // clientStats is each goroutine's private accumulator.
@@ -196,6 +200,7 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	start := time.Now()
 	measureStart := start.Add(cfg.Ramp)
 	deadline := measureStart.Add(cfg.Measure)
+	contBase := db.Contention()
 
 	var wg sync.WaitGroup
 	stats := make([]*clientStats, cfg.MPL)
@@ -233,6 +238,7 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	}
 	res.TPS = float64(res.Commits) / cfg.Measure.Seconds()
 	res.MeanLatency = lat.Mean()
+	res.Contention = db.Contention().Delta(contBase)
 	return res, nil
 }
 

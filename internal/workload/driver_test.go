@@ -8,6 +8,7 @@ import (
 	"sicost/internal/checker"
 	"sicost/internal/core"
 	"sicost/internal/engine"
+	"sicost/internal/simres"
 	"sicost/internal/smallbank"
 )
 
@@ -229,9 +230,23 @@ func TestDriverFindsAnomalyUnderPlainSI(t *testing.T) {
 	// The anomaly is a scheduling race, so this is probabilistic; each
 	// attempt hits with probability well above a third, making ten
 	// misses in a row vanishingly unlikely unless SI is accidentally
-	// too strong.
+	// too strong. A free-hardware engine is too fast for its own good
+	// here: on one OS CPU a whole transaction can run inside a single
+	// scheduling quantum and snapshots stop overlapping, so charge a
+	// little simulated per-statement CPU to stretch transaction
+	// lifetimes and force genuine concurrency on the hotspot.
 	for attempt := 0; attempt < 10; attempt++ {
-		db := loadedDB(t, core.SnapshotFUW, 40)
+		db := engine.Open(engine.Config{
+			Mode: core.SnapshotFUW, Platform: core.PlatformPostgres,
+			Res: simres.Config{VirtualCPUs: 2, StmtCPU: 50 * time.Microsecond},
+		})
+		t.Cleanup(db.Close)
+		if err := smallbank.CreateSchema(db); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: 40, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
 		c := checker.New()
 		db.SetObserver(c)
 		if _, err := Run(db, Config{
