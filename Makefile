@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet race stress fuzz fuzzsmoke bench ci
+.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos ci
 
 all: build test
 
@@ -39,6 +39,14 @@ fuzzsmoke:
 	$(GO) test -fuzz FuzzCheckerHistories -fuzztime 10s ./internal/detsim
 	$(GO) test -fuzz FuzzSQLMiniParse -fuzztime 10s ./internal/sqlmini
 
+# Seeded chaos smoke: the default fault plan against a small SmallBank
+# under 2PL with the MVSG checker attached; exits nonzero if any
+# standing invariant (conservation, lock audit, serializability) breaks.
+chaos:
+	$(GO) run ./cmd/smallbank -chaos -check -mode 2pl -customers 200 -hotspot 20 \
+		-mpl 8 -ramp 100ms -measure 500ms -retry backoff -seed 7 > /dev/null
+	$(GO) test -short -count=1 -run 'TestChaos|TestInjected|TestFaulted' ./internal/workload ./internal/detsim
+
 # Parallel-commit scaling benchmarks; regenerates BENCH_engine.json with
 # the committed pre-sharding baseline alongside the current numbers.
 bench:
@@ -48,4 +56,4 @@ bench:
 		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt
 	rm -f bench_latest.txt
 
-ci: build vet test race stress fuzzsmoke
+ci: build vet test race stress fuzzsmoke chaos

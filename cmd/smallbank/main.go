@@ -10,6 +10,8 @@
 //	smallbank -strategy PromoteWT-sfu -platform commercial -mpl 25
 //	smallbank -strategy SI -check          # attach the MVSG checker
 //	smallbank -strategies                  # list strategies
+//	smallbank -chaos -mode 2pl -check      # fault-injected run + invariant audit
+//	smallbank -retry backoff -retry-base 200us -retry-cap 20ms
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"sicost/internal/core"
 	"sicost/internal/engine"
 	"sicost/internal/experiments"
+	"sicost/internal/faultinject"
 	"sicost/internal/smallbank"
 	"sicost/internal/workload"
 )
@@ -42,6 +45,14 @@ func main() {
 		scale        = flag.Float64("scale", 1.0, "simulated-hardware time scale")
 		seed         = flag.Int64("seed", 1, "random seed")
 		check        = flag.Bool("check", false, "attach the MVSG serializability checker")
+		chaos        = flag.Bool("chaos", false, "arm the default fault plan and audit the standing invariants")
+		lockTimeout  = flag.Duration("locktimeout", 0, "per-transaction lock-wait timeout (0 = wait forever)")
+		retryKind    = flag.String("retry", "immediate", "retry policy: immediate or backoff")
+		retries      = flag.Int("retries", 50, "max retries per interaction")
+		retryBase    = flag.Duration("retry-base", 200*time.Microsecond, "backoff policy: first backoff step")
+		retryCap     = flag.Duration("retry-cap", 20*time.Millisecond, "backoff policy: per-step cap")
+		retryJitter  = flag.Float64("retry-jitter", 0.5, "backoff policy: jitter fraction in [0,1]")
+		retryBudget  = flag.Duration("retry-budget", 0, "backoff policy: total backoff budget per interaction (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -89,6 +100,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %s is NOT sound on %s (§II-C)\n", strategy.Name, engCfg.Platform)
 	}
 
+	var policy workload.RetryPolicy
+	switch *retryKind {
+	case "immediate":
+		policy = workload.ImmediatePolicy{MaxRetries: *retries}
+	case "backoff":
+		policy = workload.BackoffPolicy{
+			MaxRetries: *retries, Base: *retryBase, Cap: *retryCap,
+			Jitter: *retryJitter, Budget: *retryBudget,
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "smallbank: unknown retry policy %q\n", *retryKind)
+		os.Exit(2)
+	}
+
+	engCfg.LockWaitTimeout = *lockTimeout
+	var faults *faultinject.Registry
+	if *chaos {
+		faults = faultinject.New(*seed)
+		engCfg.Faults = faults
+	}
+
 	// Load on free hardware, then install the measured profile.
 	measured := engCfg.Res
 	engCfg.Res.VirtualCPUs = 0
@@ -106,7 +138,8 @@ func main() {
 	db.SetResources(measured)
 
 	var chk *checker.Checker
-	if *check {
+	if *check && !*chaos {
+		// In chaos mode RunChaos attaches its own checker.
 		chk = checker.New()
 		db.SetObserver(chk)
 	}
@@ -114,18 +147,45 @@ func main() {
 	mix := workload.UniformMix()
 	if *balMix > 0 {
 		mix = workload.BalanceHeavyMix(*balMix)
+	} else if *chaos {
+		// Leave the mix to RunChaos: its default excludes WriteCheck so
+		// the balance-conservation invariant is exactly checkable.
+		mix = workload.Mix{}
 	}
 	fmt.Fprintf(os.Stderr, "running %s on %s/%s: MPL %d, hotspot %d/%d, %v+%v...\n",
 		strategy.Name, *platform, *mode, *mpl, *hotspot, *customers, *ramp, *measure)
 
-	res, err := workload.Run(db, workload.Config{
+	cfg := workload.Config{
 		Strategy: strategy, MPL: *mpl, Customers: *customers,
 		HotspotSize: *hotspot, HotspotProb: *hotProb, Mix: mix,
 		Ramp: *ramp, Measure: *measure, Seed: *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "smallbank:", err)
-		os.Exit(1)
+		MaxRetries: *retries, Retry: policy,
+	}
+
+	var res *workload.Result
+	var chaosRep *workload.ChaosReport
+	if *chaos {
+		// 2PL and SSI guarantee serializable executions regardless of
+		// strategy; under plain SI only a sound serializable strategy
+		// does. Faults must never change that.
+		expectSer := engCfg.Mode != core.SnapshotFUW ||
+			(strategy.GuaranteesSerializable() && strategy.SoundOn(engCfg.Platform))
+		chaosRep, err = workload.RunChaos(db, cfg, workload.ChaosConfig{
+			Specs:              workload.DefaultFaultPlan(),
+			Check:              *check,
+			ExpectSerializable: expectSer && *check,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
+		res = chaosRep.Result
+	} else {
+		res, err = workload.Run(db, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("throughput: %.1f TPS (%d commits, %d aborts in %v)\n",
@@ -142,8 +202,11 @@ func main() {
 			100*st.SerializationAbortRate(),
 			st.Latency.Quantile(0.95).Round(time.Microsecond))
 	}
+	fmt.Printf("\nretries: %d (backoff time %v, give-ups %d, policy %s)\n",
+		res.Retries, res.BackoffTime.Round(time.Microsecond), res.GiveUps, policy.Name())
+
 	ws := db.WAL().Stats()
-	fmt.Printf("\nWAL: %d flushes, %d records (avg batch %.1f), %d bytes\n",
+	fmt.Printf("WAL: %d flushes, %d records (avg batch %.1f), %d bytes\n",
 		ws.Flushes, ws.Records, ws.AvgBatch(), ws.Bytes)
 
 	lc := res.Contention.Lock
@@ -163,5 +226,30 @@ func main() {
 	if chk != nil {
 		rep := chk.Analyze()
 		fmt.Printf("\nserializability: %s", rep.Describe())
+	}
+
+	if chaosRep != nil {
+		fmt.Printf("\nchaos: %d faults fired\n", chaosRep.Fired())
+		for _, fs := range chaosRep.FaultStats {
+			fmt.Printf("  %-26s %-6s %8d hits %8d fired\n", fs.Point, fs.Action, fs.Hits, fs.Fired)
+		}
+		if chaosRep.ConservationChecked {
+			fmt.Printf("conservation: initial %d %+d committed = %d final\n",
+				chaosRep.InitialTotal, res.CommittedDelta, chaosRep.FinalTotal)
+		} else {
+			fmt.Println("conservation: not checked (WriteCheck in mix)")
+		}
+		fmt.Printf("lock audit: %d held, %d queued\n", chaosRep.HeldLocks, chaosRep.QueuedLocks)
+		if chaosRep.CheckerReport != nil {
+			fmt.Printf("serializability under faults: %s", chaosRep.CheckerReport.Describe())
+		}
+		if !chaosRep.OK() {
+			fmt.Println("\nINVARIANT VIOLATIONS:")
+			for _, v := range chaosRep.Violations {
+				fmt.Println("  -", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("invariants: all held")
 	}
 }

@@ -21,6 +21,16 @@ var (
 	// transaction as a deadlock victim. Retriable.
 	ErrDeadlock = errors.New("engine: deadlock detected")
 
+	// ErrLockTimeout is raised when a lock wait exceeds the
+	// transaction's lock-wait deadline (PostgreSQL's lock_timeout).
+	// Retriable: the whole transaction reruns, like a deadlock victim.
+	ErrLockTimeout = errors.New("engine: lock wait timeout exceeded")
+
+	// ErrShuttingDown is returned by Begin (and every statement of the
+	// rejected handle) once DB.Close has started draining. Not
+	// retriable: clients should stop submitting work.
+	ErrShuttingDown = errors.New("engine: database shutting down")
+
 	// ErrNotFound is returned by point reads that match no visible row.
 	ErrNotFound = errors.New("engine: row not found")
 
@@ -49,7 +59,8 @@ var (
 // failure for which the standard SI discipline is "abort and rerun the
 // whole transaction".
 func IsRetriable(err error) bool {
-	return errors.Is(err, ErrSerialization) || errors.Is(err, ErrDeadlock)
+	return errors.Is(err, ErrSerialization) || errors.Is(err, ErrDeadlock) ||
+		errors.Is(err, ErrLockTimeout)
 }
 
 // AbortReason classifies why a transaction attempt did not commit; the
@@ -62,7 +73,10 @@ const (
 	AbortNone AbortReason = iota
 	AbortSerialization
 	AbortDeadlock
+	AbortLockTimeout
 	AbortApplication
+	AbortWAL
+	AbortInjected
 	AbortOther
 )
 
@@ -75,8 +89,14 @@ func (a AbortReason) String() string {
 		return "serialization"
 	case AbortDeadlock:
 		return "deadlock"
+	case AbortLockTimeout:
+		return "lock-timeout"
 	case AbortApplication:
 		return "application"
+	case AbortWAL:
+		return "wal"
+	case AbortInjected:
+		return "injected"
 	case AbortOther:
 		return "other"
 	default:
@@ -85,6 +105,8 @@ func (a AbortReason) String() string {
 }
 
 // ClassifyAbort maps an error from a transaction attempt to its class.
+// Injected faults are checked before the WAL class so a fault spec that
+// wraps both reports as the injection it is.
 func ClassifyAbort(err error) AbortReason {
 	switch {
 	case err == nil:
@@ -93,8 +115,14 @@ func ClassifyAbort(err error) AbortReason {
 		return AbortSerialization
 	case errors.Is(err, ErrDeadlock):
 		return AbortDeadlock
+	case errors.Is(err, ErrLockTimeout):
+		return AbortLockTimeout
 	case errors.Is(err, ErrRollback):
 		return AbortApplication
+	case errors.Is(err, ErrInjected):
+		return AbortInjected
+	case errors.Is(err, ErrWALClosed):
+		return AbortWAL
 	default:
 		return AbortOther
 	}

@@ -28,6 +28,7 @@ import (
 	"sicost/internal/checker"
 	"sicost/internal/core"
 	"sicost/internal/engine"
+	"sicost/internal/faultinject"
 	"sicost/internal/histories"
 )
 
@@ -93,6 +94,10 @@ type Result struct {
 	// the number of steps that blocked (plus FUW re-waits), making the
 	// sharded lock table's accounting directly checkable.
 	Contention engine.ContentionStats
+	// HeldLocks and QueuedLocks audit the lock table after every
+	// transaction has finished; a non-zero value means an abort path —
+	// injected or organic — leaked a grant or stranded a waiter.
+	HeldLocks, QueuedLocks int
 }
 
 // Value returns the value read by the i-th dispatched step.
@@ -104,6 +109,11 @@ type Runner struct {
 	Platform core.Platform
 	// Items pre-loads the single history table (default x=y=z=0).
 	Items map[string]int64
+	// Faults, when set, wires the engine's fault points to this registry,
+	// making injected failures part of the deterministic schedule. Note
+	// the loader's seed commit hits commit-path points too: gate specs
+	// with After to skip it.
+	Faults *faultinject.Registry
 }
 
 // Run parses the script (the histories DSL) and executes it step by
@@ -216,7 +226,7 @@ func (o *waitObs) OnTxWake(txID uint64, table string, key core.Value, err error)
 }
 
 func newSched(r Runner, progs map[int][]histories.Step) (*sched, error) {
-	db := engine.Open(engine.Config{Mode: r.Mode, Platform: r.Platform})
+	db := engine.Open(engine.Config{Mode: r.Mode, Platform: r.Platform, Faults: r.Faults})
 	schema := &core.Schema{
 		Name: histories.Table,
 		Columns: []core.Column{
@@ -241,6 +251,7 @@ func newSched(r Runner, progs map[int][]histories.Step) (*sched, error) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if err := seed.Insert(histories.Table, core.Record{core.Str(k), core.Int(items[k])}); err != nil {
+			seed.Abort()
 			db.Close()
 			return nil, err
 		}
@@ -523,6 +534,7 @@ func (sc *sched) finalize() {
 	}
 	sc.teardown()
 
+	sc.res.HeldLocks, sc.res.QueuedLocks = sc.db.LockAudit()
 	sc.res.Infos = sc.chk.Infos()
 	sc.res.Report = sc.chk.Analyze()
 	sc.res.Contention = sc.db.Contention()

@@ -1,0 +1,163 @@
+package detsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+	"sicost/internal/faultinject"
+)
+
+// TestInjectedCommitFaultWakesWaiters is the deterministic replay of the
+// chaos harness's central claim: a commit killed at the stamp point (the
+// last clean-abort site, before the CSN exists) releases its locks, its
+// blocked waiter wakes and commits in its place, and the lock table ends
+// the schedule empty.
+func TestInjectedCommitFaultWakesWaiters(t *testing.T) {
+	for _, mode := range []core.CCMode{core.SnapshotFUW, core.Strict2PL, core.SerializableSI} {
+		t.Run(mode.String(), func(t *testing.T) {
+			reg := faultinject.New(1)
+			// After:1 skips the loader's seed commit — the first hit on
+			// the stamp point — so the fault lands exactly on c1.
+			if err := reg.Arm(faultinject.Spec{
+				Point:  engine.FaultCommitStamp,
+				After:  1,
+				Count:  1,
+				Action: faultinject.ActError,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			r := Runner{Mode: mode, Faults: reg}
+			res, err := r.Run("b1 w1(x,1) b2 w2(x,2) c1 c2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed[1] {
+				t.Fatalf("t1 committed past an injected stamp fault:\n%s", res.Describe())
+			}
+			if !errors.Is(res.Errs[1], core.ErrInjected) {
+				t.Fatalf("t1 error = %v, want ErrInjected", res.Errs[1])
+			}
+			if core.ClassifyAbort(res.Errs[1]) != core.AbortInjected {
+				t.Fatalf("t1 abort class = %v", core.ClassifyAbort(res.Errs[1]))
+			}
+			// w2 blocked on t1's lock; the injected abort must wake it and
+			// let t2 commit.
+			if !res.Steps[3].Blocked {
+				t.Fatalf("w2 never blocked:\n%s", res.Describe())
+			}
+			if !res.Committed[2] {
+				t.Fatalf("t2 did not commit after t1's injected abort:\n%s", res.Describe())
+			}
+			if res.Final["x"] != 2 {
+				t.Fatalf("final x = %d, want 2", res.Final["x"])
+			}
+			if res.HeldLocks != 0 || res.QueuedLocks != 0 {
+				t.Fatalf("lock leak after faulted schedule: %d held, %d queued",
+					res.HeldLocks, res.QueuedLocks)
+			}
+			if !res.Report.Serializable {
+				t.Fatalf("surviving history not serializable: %s", res.Report.Describe())
+			}
+			if reg.Fired(engine.FaultCommitStamp) != 1 {
+				t.Fatalf("stamp fault fired %d times, want 1", reg.Fired(engine.FaultCommitStamp))
+			}
+		})
+	}
+}
+
+// TestInjectedFaultScheduleDeterministic replays the same faulted
+// schedule twice and demands identical step-level outcomes.
+func TestInjectedFaultScheduleDeterministic(t *testing.T) {
+	run := func() *Result {
+		reg := faultinject.New(99)
+		if err := reg.Arm(faultinject.Spec{
+			Point: engine.FaultCommitStamp, After: 1, Count: 1, Action: faultinject.ActError,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Runner{Mode: core.SnapshotFUW, Faults: reg}.
+			Run("b1 w1(x,1) b2 w2(y,2) c1 c2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Describe() != b.Describe() {
+		t.Fatalf("faulted schedule diverged:\n--- first\n%s--- second\n%s", a.Describe(), b.Describe())
+	}
+}
+
+// TestFaultedCommitStress hammers one engine with concurrent writers
+// while a mix of error, panic and delay faults fires on the commit path;
+// run under -race (the Makefile's race/stress targets) it doubles as a
+// data-race probe of the fault registry and the abort paths. The lock
+// table must end empty no matter which commits were killed.
+func TestFaultedCommitStress(t *testing.T) {
+	reg := faultinject.New(7)
+	db := engine.Open(engine.Config{Mode: core.SnapshotFUW, Platform: core.PlatformPostgres, Faults: reg})
+	schema := &core.Schema{
+		Name: "S",
+		Columns: []core.Column{
+			{Name: "K", Kind: core.KindInt, NotNull: true},
+			{Name: "V", Kind: core.KindInt, NotNull: true},
+		},
+		PK: 0,
+	}
+	if err := db.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	seedKeys := 8
+	seed := db.Begin()
+	for k := 0; k < seedKeys; k++ {
+		if err := seed.Insert("S", core.Record{core.Int(int64(k)), core.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Arm only after the seed commit so the loader runs fault-free.
+	for _, s := range []faultinject.Spec{
+		{Point: engine.FaultCommitStamp, Rate: 0.2, Action: faultinject.ActError},
+		{Point: engine.FaultLockAcquire, Rate: 0.05, Action: faultinject.ActError},
+	} {
+		if err := reg.Arm(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	workers, iters := 8, 200
+	if testing.Short() {
+		workers, iters = 4, 50
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tx := db.Begin()
+				k := core.Int(int64((w + i) % seedKeys))
+				if err := tx.Update("S", k, core.Record{k, core.Int(int64(i))}); err != nil {
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					tx.Abort()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if held, queued := db.LockAudit(); held != 0 || queued != 0 {
+		t.Fatalf("lock leak under commit faults: %d held, %d queued", held, queued)
+	}
+	if reg.Fired(engine.FaultCommitStamp) == 0 {
+		t.Fatal("stamp fault never fired under stress")
+	}
+	db.Close()
+}

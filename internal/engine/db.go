@@ -14,11 +14,41 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sicost/internal/core"
+	"sicost/internal/faultinject"
 	"sicost/internal/simres"
 	"sicost/internal/storage"
 	"sicost/internal/wal"
+)
+
+// Fault-point names of the engine's hot paths. Points past the commit
+// point (CSN allocation and publication) are delay-only: an injected
+// error there could not be rolled back without acknowledging a lie, so
+// only stalls are honoured (see faultinject.FireDelayOnly).
+const (
+	// FaultBegin fires when a transaction starts, before its snapshot
+	// is taken. An injected error poisons the handle (every statement
+	// and the commit return it); a delay stalls the snapshot point.
+	FaultBegin = "engine/begin"
+	// FaultLockAcquire fires before every row-lock acquisition (the
+	// 2PL read path and the write/select-for-update paths of every
+	// mode).
+	FaultLockAcquire = "engine/lock/acquire"
+	// FaultCommitStamp fires at the head of an updating commit's
+	// stamping phase, before the CSN is allocated — the last point
+	// where the commit can still abort cleanly (locks released,
+	// versions unlinked).
+	FaultCommitStamp = "engine/commit/stamp"
+	// FaultCSNAlloc fires inside CSN allocation (delay-only): a stall
+	// here backs up every concurrent committer behind the sequencer.
+	FaultCSNAlloc = "engine/commit/csn-alloc"
+	// FaultCSNPublish fires after the commit's CSN is published but
+	// before its locks release (delay-only): a stall here holds row
+	// locks across an already-visible commit, the regime FUW waiters
+	// suffer under a slow committer.
+	FaultCSNPublish = "engine/commit/csn-publish"
 )
 
 // Config assembles one database instance.
@@ -35,6 +65,15 @@ type Config struct {
 	// Cost overrides the per-strategy statement penalties; when zero,
 	// platform defaults apply (see DefaultCostModel).
 	Cost *CostModel
+	// LockWaitTimeout bounds every row-lock wait; a wait that exceeds
+	// it fails with core.ErrLockTimeout (retriable). Zero waits
+	// forever. Transactions can override per-handle with
+	// Tx.SetLockWaitTimeout.
+	LockWaitTimeout time.Duration
+	// Faults is the fault-injection registry consulted by the engine,
+	// storage and WAL fault points; nil (the default) compiles every
+	// hook down to a pointer test.
+	Faults *faultinject.Registry
 }
 
 // VersionRef identifies a version a transaction read or wrote, for the
@@ -116,6 +155,16 @@ type DB struct {
 
 	nextTxID atomic.Uint64
 
+	faults *faultinject.Registry
+
+	// Shutdown: Close flips closing under closeMu, then waits for the
+	// in-flight transaction count to drain. Begin registers new
+	// transactions under the same mutex, so no registration can slip
+	// past a started drain.
+	closeMu  sync.Mutex
+	closing  bool
+	inflight sync.WaitGroup
+
 	obsMu    sync.Mutex
 	observer Observer
 
@@ -138,6 +187,11 @@ func Open(cfg Config) *DB {
 		locks:   storage.NewLockTable(),
 		log:     wal.New(cfg.WAL),
 		machine: simres.New(cfg.Res),
+		faults:  cfg.Faults,
+	}
+	if cfg.Faults != nil {
+		db.store.SetFaults(cfg.Faults)
+		db.log.SetFaults(cfg.Faults)
 	}
 	db.seqWaiters = make(map[uint64]chan struct{})
 	if cfg.Mode == core.SerializableSI {
@@ -149,6 +203,7 @@ func Open(cfg Config) *DB {
 // allocCSN assigns the next commit sequence number. The critical
 // section is a counter increment; stamping happens outside it.
 func (db *DB) allocCSN() uint64 {
+	db.faults.FireDelayOnly(FaultCSNAlloc, faultinject.Ctx{})
 	db.seqMu.Lock()
 	db.nextCSN++
 	csn := db.nextCSN
@@ -182,8 +237,28 @@ func (db *DB) publishCSN(csn uint64) {
 	db.seqMu.Unlock()
 }
 
-// Close shuts the simulated log device down.
-func (db *DB) Close() { db.log.Close() }
+// Close shuts the database down: new Begins are rejected with a handle
+// poisoned by core.ErrShuttingDown, in-flight transactions are drained
+// (Close blocks until each has committed or aborted), and the simulated
+// log device is closed last, so no draining commit races the WAL
+// teardown. Idempotent; concurrent Closes all block until the drain
+// completes.
+func (db *DB) Close() {
+	db.closeMu.Lock()
+	db.closing = true
+	db.closeMu.Unlock()
+	db.inflight.Wait()
+	db.log.Close()
+}
+
+// LockAudit reports the lock table's outstanding grants and queued
+// waiters. A quiescent database must report 0/0; the chaos harness's
+// lock-leak invariant checks exactly that after a faulted run.
+func (db *DB) LockAudit() (held, queued int) { return db.locks.Outstanding() }
+
+// Faults returns the fault-injection registry the database was opened
+// with (nil when fault injection is disabled).
+func (db *DB) Faults() *faultinject.Registry { return db.faults }
 
 // CreateTable declares a table.
 func (db *DB) CreateTable(schema *core.Schema) error {
@@ -277,6 +352,21 @@ func (db *DB) Stats() (commits, aborts uint64) {
 // Commit or Abort; it is not safe for concurrent use by multiple
 // goroutines (like a SQL session).
 func (db *DB) Begin() *Tx {
+	// The begin fault fires before the transaction is registered, so an
+	// injected panic here unwinds without leaving shutdown bookkeeping
+	// behind.
+	beginErr := db.faults.Fire(FaultBegin, faultinject.Ctx{})
+
+	db.closeMu.Lock()
+	if db.closing {
+		db.closeMu.Unlock()
+		// Rejected handle: every statement and the commit return
+		// ErrShuttingDown; Abort is a cheap no-op-ish cleanup.
+		return &Tx{db: db, failedErr: core.ErrShuttingDown}
+	}
+	db.inflight.Add(1)
+	db.closeMu.Unlock()
+
 	// Per-transaction base CPU (parse, plan, session round trip), plus
 	// the commercial platform's per-session overhead at the current MPL.
 	// Charged before the snapshot is taken, as in the real systems where
@@ -288,14 +378,28 @@ func (db *DB) Begin() *Tx {
 	start := db.visibleCSN.Load()
 
 	tx := &Tx{
-		db:    db,
-		id:    db.nextTxID.Add(1),
-		start: start,
+		db:       db,
+		id:       db.nextTxID.Add(1),
+		start:    start,
+		reg:      true,
+		lockWait: db.cfg.LockWaitTimeout,
+	}
+	if beginErr != nil {
+		tx.failedErr = beginErr
 	}
 	if db.ssi != nil {
 		db.ssi.begin(tx)
 	}
 	return tx
+}
+
+// endTx retires a registered transaction from the shutdown drain.
+// Called exactly once per registered handle, from Commit or Abort.
+func (db *DB) endTx(tx *Tx) {
+	if tx.reg {
+		tx.reg = false
+		db.inflight.Done()
+	}
 }
 
 // ScanLatest iterates the newest committed record of every row of the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sicost/internal/core"
+	"sicost/internal/faultinject"
 	"sicost/internal/storage"
 )
 
@@ -36,6 +37,13 @@ type Tx struct {
 	start uint64
 	tag   string
 	done  bool
+	// reg marks the handle as counted in the DB's shutdown drain;
+	// cleared by endTx. Handles rejected during shutdown are never
+	// registered.
+	reg bool
+	// lockWait bounds each row-lock wait (0 = forever); seeded from
+	// Config.LockWaitTimeout, overridable per handle.
+	lockWait time.Duration
 
 	writes []writeRec
 	sfus   []sfuRec
@@ -67,6 +75,24 @@ func (tx *Tx) StartCSN() uint64 { return tx.start }
 // SetTag attaches an application label (e.g. the transaction type) that
 // is passed through to the commit observer.
 func (tx *Tx) SetTag(tag string) { tx.tag = tag }
+
+// SetLockWaitTimeout overrides the database's lock-wait deadline for
+// this transaction (0 = wait forever): PostgreSQL's per-session
+// lock_timeout. A wait exceeding the deadline fails the statement with
+// core.ErrLockTimeout, which is retriable — the standard discipline
+// aborts and reruns the transaction.
+func (tx *Tx) SetLockWaitTimeout(d time.Duration) { tx.lockWait = d }
+
+// acquire takes the row lock behind the FaultLockAcquire point and the
+// transaction's lock-wait deadline.
+func (tx *Tx) acquire(key storage.LockKey, mode storage.LockMode) error {
+	if tx.db.faults != nil {
+		if err := tx.db.faults.Fire(FaultLockAcquire, faultinject.Ctx{Tx: tx.id, Table: key.Table, Key: key.Key}); err != nil {
+			return err
+		}
+	}
+	return tx.db.locks.AcquireTimeout(tx.id, key, mode, tx.lockWait)
+}
 
 // Charge spends d of simulated CPU on behalf of this transaction, on top
 // of the per-statement costs. The SmallBank strategies use it to apply
@@ -151,11 +177,14 @@ func (tx *Tx) Get(table string, key core.Value) (core.Record, error) {
 		return nil, err
 	}
 	if tx.db.cfg.Mode == core.Strict2PL {
-		if err := tx.db.locks.Acquire(tx.id, storage.LockKey{Table: table, Key: key}, storage.Shared); err != nil {
-			return nil, err
+		if err := tx.acquire(storage.LockKey{Table: table, Key: key}, storage.Shared); err != nil {
+			return nil, tx.fail(err)
 		}
 	}
-	row := tbl.Row(key)
+	row, err := tbl.ReadRow(tx.id, key)
+	if err != nil {
+		return nil, err
+	}
 	if row == nil {
 		return nil, core.ErrNotFound
 	}
@@ -209,7 +238,7 @@ func (tx *Tx) GetByIndex(table, column string, val core.Value) (core.Record, err
 // otherwise the update targets a row concurrently updated and the
 // transaction must abort with a serialization failure.
 func (tx *Tx) lockForWrite(tbl *storage.Table, key core.Value, row *storage.Row) error {
-	if err := tx.db.locks.Acquire(tx.id, storage.LockKey{Table: tbl.Name(), Key: key}, storage.Exclusive); err != nil {
+	if err := tx.acquire(storage.LockKey{Table: tbl.Name(), Key: key}, storage.Exclusive); err != nil {
 		return tx.fail(err)
 	}
 	if tx.db.cfg.Mode == core.Strict2PL {
@@ -243,7 +272,10 @@ func (tx *Tx) Update(table string, key core.Value, rec core.Record) error {
 	if tbl.Schema().Key(rec) != key {
 		return fmt.Errorf("engine: update of %s changes primary key %v to %v", table, key, tbl.Schema().Key(rec))
 	}
-	row := tbl.Row(key)
+	row, err := tbl.WriteRow(tx.id, key)
+	if err != nil {
+		return err
+	}
 	if row == nil {
 		return core.ErrNotFound
 	}
@@ -283,7 +315,10 @@ func (tx *Tx) Insert(table string, rec core.Record) error {
 		return err
 	}
 	key := tbl.Schema().Key(rec)
-	row := tbl.EnsureRow(key)
+	row, err := tbl.EnsureWriteRow(tx.id, key)
+	if err != nil {
+		return err
+	}
 	if err := tx.lockForWrite(tbl, key, row); err != nil {
 		return err
 	}
@@ -321,7 +356,10 @@ func (tx *Tx) Delete(table string, key core.Value) error {
 	if err != nil {
 		return err
 	}
-	row := tbl.Row(key)
+	row, err := tbl.WriteRow(tx.id, key)
+	if err != nil {
+		return err
+	}
 	if row == nil {
 		return core.ErrNotFound
 	}
@@ -364,7 +402,10 @@ func (tx *Tx) ReadForUpdate(table string, key core.Value) (core.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	row := tbl.Row(key)
+	row, err := tbl.ReadRow(tx.id, key)
+	if err != nil {
+		return nil, err
+	}
 	if row == nil {
 		return nil, core.ErrNotFound
 	}
@@ -449,6 +490,15 @@ func (tx *Tx) Commit() error {
 	}
 
 	if len(tx.writes) > 0 || len(tx.sfus) > 0 {
+		// The stamp fault fires before the CSN exists: the last point
+		// where this commit can abort cleanly — versions unlinked,
+		// index entries removed, locks released, waiters woken.
+		if tx.db.faults != nil {
+			if err := tx.db.faults.Fire(FaultCommitStamp, faultinject.Ctx{Tx: tx.id}); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
 		// Commit sequencing is two short critical sections around a
 		// lock-free stamping phase: allocate the CSN, stamp versions and
 		// index entries (safe without a global lock — every stamped row
@@ -473,6 +523,9 @@ func (tx *Tx) Commit() error {
 			info.SFU = append(info.SFU, VersionRef{Table: s.table.Name(), Key: s.key, CSN: csn})
 		}
 		tx.db.publishCSN(csn)
+		// Delay-only: the commit is published; a stall here holds row
+		// locks across an already-visible commit.
+		tx.db.faults.FireDelayOnly(FaultCSNPublish, faultinject.Ctx{Tx: tx.id})
 		info.CommitCSN = csn
 	} else {
 		// Read-only: logically commits at its snapshot.
@@ -485,6 +538,7 @@ func (tx *Tx) Commit() error {
 	tx.db.locks.ReleaseAll(tx.id)
 	tx.done = true
 	tx.db.commits.Add(1)
+	tx.db.endTx(tx)
 	tx.db.notifyCommit(info)
 	return nil
 }
@@ -513,7 +567,12 @@ func (tx *Tx) Abort() {
 	}
 	tx.db.locks.ReleaseAll(tx.id)
 	tx.done = true
-	tx.db.aborts.Add(1)
+	if tx.id != 0 {
+		// Handles rejected at Begin (shutdown) never ran; they are not
+		// aborted work.
+		tx.db.aborts.Add(1)
+	}
+	tx.db.endTx(tx)
 }
 
 // Stmts returns the number of statements executed so far (diagnostics).

@@ -1,0 +1,307 @@
+// Package faultinject is the engine's deterministic fault-injection
+// substrate: a registry of named fault points woven through the hot
+// paths of the engine, the storage layer and the simulated WAL. A test
+// or chaos run arms specs against those points — trigger by sampling
+// rate, by hit count, or filtered to one table/key — and the point
+// fires an action when hit: return an error, delay the caller, or
+// panic (recoverable via AsPanic, modelling a crashed session).
+//
+// Determinism: rate-based triggers draw from a registry-owned seeded
+// RNG, and hit-count triggers are exact, so a single-threaded driver
+// (internal/detsim) replays the same faults on every run. A nil
+// *Registry is inert: every method is nil-safe and Fire on a nil or
+// disarmed registry is one pointer test plus one atomic load, so the
+// hooks compiled into the engine's commit path cost nothing when fault
+// injection is disabled (see BenchmarkFireDisabled).
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sicost/internal/core"
+)
+
+// Action is what a fault point does when its spec triggers.
+type Action uint8
+
+// Actions.
+const (
+	// ActError makes the fault point return an error (Spec.Err, or a
+	// wrapped core.ErrInjected naming the point).
+	ActError Action = iota
+	// ActDelay stalls the caller for Spec.Delay before continuing
+	// normally (lock-holder preemption, slow-disk, GC-pause chaos).
+	ActDelay
+	// ActPanic panics with a *Panic value, modelling a session that
+	// dies mid-operation. Recover it with AsPanic; the engine's
+	// transaction programs release their locks on the way out (their
+	// deferred Abort runs during unwinding), which the chaos harness's
+	// lock-leak invariant pins down.
+	ActPanic
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActError:
+		return "error"
+	case ActDelay:
+		return "delay"
+	case ActPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Ctx describes one hit of a fault point: which transaction (0 when not
+// attributable) touched which table/key. Specs filter on it.
+type Ctx struct {
+	Tx    uint64
+	Table string
+	Key   core.Value
+}
+
+// Spec arms one fault against a named point.
+type Spec struct {
+	// Point is the fault-point name (see DESIGN.md for the full map,
+	// e.g. "engine/commit/stamp", "storage/row/read", "wal/flush").
+	Point string
+
+	// Rate is the per-hit trigger probability in [0,1]; 0 means the
+	// spec triggers on every hit that passes the count gates (pure
+	// hit-count triggering).
+	Rate float64
+	// After skips the first After matching hits before the spec may
+	// trigger (fire on the N+1st touch of a key, not the first).
+	After uint64
+	// Count caps how many times the spec fires; 0 means unlimited.
+	Count uint64
+
+	// Table restricts the spec to hits on one table ("" matches any).
+	Table string
+	// Key restricts the spec to one key (nil matches any).
+	Key *core.Value
+
+	// Action selects what happens on trigger.
+	Action Action
+	// Err overrides the returned error for ActError; nil yields
+	// fmt.Errorf("%w at %s", core.ErrInjected, point).
+	Err error
+	// Delay is the stall duration for ActDelay.
+	Delay time.Duration
+}
+
+// Panic is the value thrown by ActPanic.
+type Panic struct {
+	Point string
+	Ctx   Ctx
+}
+
+// Error makes *Panic usable as the abort error after recovery; it wraps
+// core.ErrInjected so core.ClassifyAbort reports AbortInjected.
+func (p *Panic) Error() string { return fmt.Sprintf("injected panic at %s", p.Point) }
+
+// Unwrap links the recovered panic into the injected-fault error class.
+func (p *Panic) Unwrap() error { return core.ErrInjected }
+
+// AsPanic reports whether a recovered value is an injected panic.
+func AsPanic(v any) (*Panic, bool) {
+	p, ok := v.(*Panic)
+	return p, ok
+}
+
+// armed is one Spec with its trigger bookkeeping.
+type armed struct {
+	Spec
+	hits  uint64 // matching hits observed
+	fired uint64 // times triggered
+}
+
+// PointStats reports one armed spec's activity.
+type PointStats struct {
+	Point  string
+	Action Action
+	Hits   uint64 // hits that passed the table/key filter
+	Fired  uint64 // hits that triggered the action
+}
+
+// Registry holds the armed fault specs. The zero value is not usable;
+// call New. All methods are safe for concurrent use and nil-safe, so
+// subsystems unconditionally embed a possibly-nil *Registry.
+type Registry struct {
+	// active is the number of armed specs; Fire's fast path loads it
+	// once and returns when zero, keeping disarmed hooks off the hot
+	// path's profile.
+	active atomic.Int64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	specs map[string][]*armed
+}
+
+// New creates an empty registry whose rate-based triggers draw from a
+// deterministic stream seeded with seed.
+func New(seed int64) *Registry {
+	return &Registry{
+		rng:   rand.New(rand.NewSource(seed)),
+		specs: make(map[string][]*armed),
+	}
+}
+
+// Arm registers a spec. Multiple specs may target the same point; they
+// are evaluated in arming order and the first trigger wins.
+func (r *Registry) Arm(s Spec) error {
+	if r == nil {
+		return fmt.Errorf("faultinject: Arm on nil registry")
+	}
+	if s.Point == "" {
+		return fmt.Errorf("faultinject: spec needs a point name")
+	}
+	if s.Rate < 0 || s.Rate > 1 {
+		return fmt.Errorf("faultinject: rate %v out of [0,1]", s.Rate)
+	}
+	if s.Action == ActDelay && s.Delay <= 0 {
+		return fmt.Errorf("faultinject: delay action needs a positive Delay")
+	}
+	r.mu.Lock()
+	r.specs[s.Point] = append(r.specs[s.Point], &armed{Spec: s})
+	r.mu.Unlock()
+	r.active.Add(1)
+	return nil
+}
+
+// Disarm removes every spec armed against point.
+func (r *Registry) Disarm(point string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	n := len(r.specs[point])
+	delete(r.specs, point)
+	r.mu.Unlock()
+	r.active.Add(-int64(n))
+}
+
+// Reset removes every armed spec (trigger statistics included).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	n := 0
+	for _, as := range r.specs {
+		n += len(as)
+	}
+	r.specs = make(map[string][]*armed)
+	r.mu.Unlock()
+	r.active.Add(-int64(n))
+}
+
+// Stats snapshots per-spec hit/fire counts, sorted by point name (specs
+// sharing a point keep arming order).
+func (r *Registry) Stats() []PointStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	points := make([]string, 0, len(r.specs))
+	for p := range r.specs {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	var out []PointStats
+	for _, p := range points {
+		for _, a := range r.specs[p] {
+			out = append(out, PointStats{Point: p, Action: a.Action, Hits: a.hits, Fired: a.fired})
+		}
+	}
+	return out
+}
+
+// Fired returns the total trigger count across every spec of point.
+func (r *Registry) Fired(point string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n uint64
+	for _, a := range r.specs[point] {
+		n += a.fired
+	}
+	return n
+}
+
+// Fire evaluates the named point against ctx and performs the first
+// triggered spec's action: it returns the injected error, sleeps the
+// injected delay (returning nil), or panics with a *Panic. Nil-safe;
+// with nothing armed it is a pointer test plus one atomic load.
+func (r *Registry) Fire(point string, ctx Ctx) error {
+	if r == nil || r.active.Load() == 0 {
+		return nil
+	}
+	return r.fire(point, ctx, false)
+}
+
+// FireDelayOnly is Fire for points past the commit point (CSN already
+// published) where an injected error or crash could not be rolled back
+// without lying to the client: only ActDelay specs take effect there,
+// error/panic specs count a hit but do nothing. Nil-safe.
+func (r *Registry) FireDelayOnly(point string, ctx Ctx) {
+	if r == nil || r.active.Load() == 0 {
+		return
+	}
+	_ = r.fire(point, ctx, true)
+}
+
+func (r *Registry) fire(point string, ctx Ctx, delayOnly bool) error {
+	var act *armed
+	r.mu.Lock()
+	for _, a := range r.specs[point] {
+		if a.Table != "" && a.Table != ctx.Table {
+			continue
+		}
+		if a.Key != nil && *a.Key != ctx.Key {
+			continue
+		}
+		a.hits++
+		if a.hits <= a.After {
+			continue
+		}
+		if a.Count > 0 && a.fired >= a.Count {
+			continue
+		}
+		if a.Rate > 0 && r.rng.Float64() >= a.Rate {
+			continue
+		}
+		if delayOnly && a.Action != ActDelay {
+			continue
+		}
+		a.fired++
+		act = a
+		break
+	}
+	r.mu.Unlock()
+	if act == nil {
+		return nil
+	}
+	switch act.Action {
+	case ActDelay:
+		time.Sleep(act.Delay)
+		return nil
+	case ActPanic:
+		panic(&Panic{Point: point, Ctx: ctx})
+	default:
+		if act.Err != nil {
+			return act.Err
+		}
+		return fmt.Errorf("%w at %s", core.ErrInjected, point)
+	}
+}

@@ -1,0 +1,282 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if err := r.Fire("x", Ctx{}); err != nil {
+		t.Fatalf("nil Fire: %v", err)
+	}
+	r.FireDelayOnly("x", Ctx{})
+	r.Disarm("x")
+	r.Reset()
+	if s := r.Stats(); s != nil {
+		t.Fatalf("nil Stats: %v", s)
+	}
+	if n := r.Fired("x"); n != 0 {
+		t.Fatalf("nil Fired: %d", n)
+	}
+	if err := r.Arm(Spec{Point: "x"}); err == nil {
+		t.Fatal("Arm on nil registry should error")
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Spec{}); err == nil {
+		t.Fatal("empty point accepted")
+	}
+	if err := r.Arm(Spec{Point: "p", Rate: 1.5}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if err := r.Arm(Spec{Point: "p", Action: ActDelay}); err == nil {
+		t.Fatal("delay action without Delay accepted")
+	}
+}
+
+func TestEveryHitTriggers(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Spec{Point: "p", Action: ActError}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := r.Fire("p", Ctx{})
+		if !errors.Is(err, core.ErrInjected) {
+			t.Fatalf("hit %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if got := r.Fired("p"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+	if err := r.Fire("other", Ctx{}); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	r := New(1)
+	custom := errors.New("boom")
+	if err := r.Arm(Spec{Point: "p", Action: ActError, Err: custom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fire("p", Ctx{}); !errors.Is(err, custom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}
+
+func TestAfterAndCountGates(t *testing.T) {
+	r := New(1)
+	// Skip the first 2 hits, then fire at most twice.
+	if err := r.Arm(Spec{Point: "p", After: 2, Count: 2, Action: ActError}); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if r.Fire("p", Ctx{}) != nil {
+			if i < 2 {
+				t.Fatalf("fired on hit %d despite After=2", i)
+			}
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (Count gate)", fired)
+	}
+	st := r.Stats()
+	if len(st) != 1 || st[0].Hits != 10 || st[0].Fired != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableKeyFilter(t *testing.T) {
+	r := New(1)
+	key := core.Int(7)
+	if err := r.Arm(Spec{Point: "p", Table: "T", Key: &key, Action: ActError}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fire("p", Ctx{Table: "U", Key: core.Int(7)}); err != nil {
+		t.Fatalf("wrong table fired: %v", err)
+	}
+	if err := r.Fire("p", Ctx{Table: "T", Key: core.Int(8)}); err != nil {
+		t.Fatalf("wrong key fired: %v", err)
+	}
+	if err := r.Fire("p", Ctx{Table: "T", Key: core.Int(7)}); err == nil {
+		t.Fatal("matching hit did not fire")
+	}
+	// Filtered-out hits must not count toward After/Count gates.
+	st := r.Stats()
+	if st[0].Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (filtered hits excluded)", st[0].Hits)
+	}
+}
+
+func TestRateIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		r := New(seed)
+		if err := r.Arm(Spec{Point: "p", Rate: 0.3, Action: ActError}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = r.Fire("p", Ctx{}) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trigger streams")
+	}
+	var fired int
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 {
+		t.Fatalf("rate 0.3 over 200 hits fired %d times", fired)
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Spec{Point: "p", Action: ActDelay, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := r.Fire("p", Ctx{}); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestPanicActionAndAsPanic(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Spec{Point: "p", Action: ActPanic}); err != nil {
+		t.Fatal(err)
+	}
+	var recovered *Panic
+	func() {
+		defer func() {
+			p, ok := AsPanic(recover())
+			if !ok {
+				t.Fatal("recovered value is not a *Panic")
+			}
+			recovered = p
+		}()
+		_ = r.Fire("p", Ctx{Tx: 9})
+		t.Fatal("Fire returned instead of panicking")
+	}()
+	if recovered.Point != "p" || recovered.Ctx.Tx != 9 {
+		t.Fatalf("panic payload = %+v", recovered)
+	}
+	if !errors.Is(recovered, core.ErrInjected) {
+		t.Fatal("*Panic does not wrap ErrInjected")
+	}
+	if core.ClassifyAbort(recovered) != core.AbortInjected {
+		t.Fatalf("ClassifyAbort(*Panic) = %v", core.ClassifyAbort(recovered))
+	}
+	if _, ok := AsPanic("unrelated"); ok {
+		t.Fatal("AsPanic accepted a non-Panic value")
+	}
+}
+
+func TestFireDelayOnlySkipsErrors(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Spec{Point: "p", Action: ActError}); err != nil {
+		t.Fatal(err)
+	}
+	r.FireDelayOnly("p", Ctx{}) // must not panic or error
+	if got := r.Fired("p"); got != 0 {
+		t.Fatalf("error spec fired %d times at a delay-only point", got)
+	}
+	if err := r.Arm(Spec{Point: "p", Action: ActDelay, Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	r.FireDelayOnly("p", Ctx{})
+	if got := r.Fired("p"); got != 1 {
+		t.Fatalf("delay spec fired %d times, want 1", got)
+	}
+}
+
+func TestFirstMatchingSpecWins(t *testing.T) {
+	r := New(1)
+	errA, errB := errors.New("a"), errors.New("b")
+	if err := r.Arm(Spec{Point: "p", Count: 1, Action: ActError, Err: errA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Arm(Spec{Point: "p", Action: ActError, Err: errB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fire("p", Ctx{}); !errors.Is(err, errA) {
+		t.Fatalf("first fire: %v, want a", err)
+	}
+	// First spec exhausted (Count=1): the second takes over.
+	if err := r.Fire("p", Ctx{}); !errors.Is(err, errB) {
+		t.Fatalf("second fire: %v, want b", err)
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Spec{Point: "p", Action: ActError}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Arm(Spec{Point: "q", Action: ActError}); err != nil {
+		t.Fatal(err)
+	}
+	r.Disarm("p")
+	if err := r.Fire("p", Ctx{}); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if err := r.Fire("q", Ctx{}); err == nil {
+		t.Fatal("q should still be armed")
+	}
+	r.Reset()
+	if err := r.Fire("q", Ctx{}); err != nil {
+		t.Fatalf("reset registry fired: %v", err)
+	}
+	if r.active.Load() != 0 {
+		t.Fatalf("active = %d after Reset", r.active.Load())
+	}
+}
+
+func BenchmarkFireDisabled(b *testing.B) {
+	r := New(1)
+	ctx := Ctx{Tx: 1, Table: "T"}
+	b.Run("empty-registry", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := r.Fire("engine/commit/stamp", ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nil-registry", func(b *testing.B) {
+		var nr *Registry
+		for i := 0; i < b.N; i++ {
+			if err := nr.Fire("engine/commit/stamp", ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -254,6 +254,19 @@ func (r Runner) Run(history string) (*Result, error) {
 	drivers := map[int]*txnDriver{}
 	blocked := map[int]bool{}
 
+	// fail tears the drivers down on a structural schedule error, so
+	// the deferred db.Close (which drains in-flight transactions) finds
+	// nothing live. Aborting a transaction whose goroutine is blocked
+	// in a step ejects the waiter; the step's verdict lands in the
+	// buffered done channel and is discarded with the driver.
+	fail := func(err error) (*Result, error) {
+		for _, d := range drivers {
+			d.tx.Abort()
+			close(d.steps)
+		}
+		return nil, err
+	}
+
 	startDriver := func(txn int) *txnDriver {
 		d := &txnDriver{
 			tx:    db.Begin(),
@@ -273,7 +286,7 @@ func (r Runner) Run(history string) (*Result, error) {
 	for _, s := range steps {
 		if s.Kind == OpBegin {
 			if drivers[s.Txn] != nil {
-				return nil, fmt.Errorf("histories: transaction %d begun twice", s.Txn)
+				return fail(fmt.Errorf("histories: transaction %d begun twice", s.Txn))
 			}
 			startDriver(s.Txn)
 			res.Steps = append(res.Steps, StepResult{Step: s, Outcome: OK})
@@ -281,10 +294,10 @@ func (r Runner) Run(history string) (*Result, error) {
 		}
 		d := drivers[s.Txn]
 		if d == nil {
-			return nil, fmt.Errorf("histories: transaction %d used before begin", s.Txn)
+			return fail(fmt.Errorf("histories: transaction %d used before begin", s.Txn))
 		}
 		if blocked[s.Txn] {
-			return nil, fmt.Errorf("histories: transaction %d is blocked; cannot run %v", s.Txn, s)
+			return fail(fmt.Errorf("histories: transaction %d is blocked; cannot run %v", s.Txn, s))
 		}
 		d.steps <- s
 		select {

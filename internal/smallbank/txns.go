@@ -299,6 +299,10 @@ func RunWriteCheck(tx *engine.Tx, s *Strategy, p Params) error {
 // on commit; retriable concurrency failures satisfy core.IsRetriable.
 func Run(db *engine.DB, s *Strategy, typ TxnType, p Params) error {
 	tx := db.Begin()
+	// Abort after completion is a no-op; this deferred rollback exists
+	// for injected panics (faultinject.ActPanic), so a program that
+	// dies mid-statement still releases its locks while unwinding.
+	defer tx.Abort()
 	tx.SetTag(typ.Short())
 	var err error
 	switch typ {

@@ -326,6 +326,14 @@ func (lt *LockTable) tryGrantLocked(s *lockStripe, tx uint64, key LockKey, mode 
 // graph. Re-acquiring a held lock is a no-op; Shared→Exclusive upgrades
 // are honoured (jumping the queue when tx is the sole holder).
 func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
+	return lt.AcquireTimeout(tx, key, mode, 0)
+}
+
+// AcquireTimeout is Acquire with a lock-wait deadline: a request still
+// queued after timeout is withdrawn and fails with core.ErrLockTimeout
+// (PostgreSQL's lock_timeout discipline — the statement's transaction
+// aborts and the client retries). timeout <= 0 waits forever.
+func (lt *LockTable) AcquireTimeout(tx uint64, key LockKey, mode LockMode, timeout time.Duration) error {
 	idx := lt.stripeIndex(key)
 	s := lt.stripes[idx]
 	s.mu.Lock()
@@ -335,7 +343,7 @@ func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
 		lt.fastPath.Inc(idx)
 		return nil
 	}
-	return lt.acquireSlow(tx, key, mode, idx)
+	return lt.acquireSlow(tx, key, mode, idx, timeout)
 }
 
 // acquireSlow is the blocking path: with every stripe locked in
@@ -343,7 +351,7 @@ func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
 // between the fast path and here), snapshots the global waits-for
 // relation for deadlock detection, and queues the request. The wait
 // itself happens with no stripe mutex held.
-func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int) error {
+func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int, timeout time.Duration) error {
 	s := lt.stripes[idx]
 	lt.lockAll()
 	if lt.tryGrantLocked(s, tx, key, mode) {
@@ -372,9 +380,48 @@ func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int)
 	lt.unlockAll()
 	lt.waits.Inc(idx)
 	start := time.Now()
-	err := <-w.ready
+	var err error
+	if timeout <= 0 {
+		err = <-w.ready
+	} else {
+		timer := time.NewTimer(timeout)
+		select {
+		case err = <-w.ready:
+			timer.Stop()
+		case <-timer.C:
+			err = lt.withdraw(s, tx, key, w)
+		}
+	}
 	lt.waitNanos.Add(idx, uint64(time.Since(start)))
 	return err
+}
+
+// withdraw removes a timed-out waiter from its queue. The race with a
+// concurrent grant or ejection is resolved under the stripe mutex: a
+// resolver sends on w.ready (buffered) before releasing the stripe, so
+// if w is no longer queued the verdict is already in the channel and
+// wins — a granted lock is returned, not leaked.
+func (lt *LockTable) withdraw(s *lockStripe, tx uint64, key LockKey, w *waiter) error {
+	s.mu.Lock()
+	if l := s.locks[key]; l != nil {
+		for i, q := range l.queue {
+			if q != w {
+				continue
+			}
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			lt.notifyWake(tx, key, core.ErrLockTimeout)
+			// Removing a waiter (it may have been at the head, holding
+			// compatible successors back) can unblock the queue.
+			lt.grantLocked(s, key, l)
+			s.mu.Unlock()
+			lt.removeQueued(tx, key)
+			return core.ErrLockTimeout
+		}
+	}
+	s.mu.Unlock()
+	// Already granted or ejected; the resolver's send precedes our
+	// failed queue scan, so this receive cannot block.
+	return <-w.ready
 }
 
 // wouldDeadlock reports whether tx blocking on lock l closes a cycle in
@@ -568,6 +615,22 @@ func (lt *LockTable) QueueLen(key LockKey) int {
 		return len(l.queue)
 	}
 	return 0
+}
+
+// Outstanding reports the number of granted holds and queued waiters
+// across the whole table. Quiescent databases must report 0/0 — the
+// chaos harness's lock-leak invariant (a faulted commit or injected
+// panic must not strand a lock entry).
+func (lt *LockTable) Outstanding() (held, queued int) {
+	lt.lockAll()
+	for _, s := range lt.stripes {
+		for _, l := range s.locks {
+			held += len(l.holders)
+			queued += len(l.queue)
+		}
+	}
+	lt.unlockAll()
+	return held, queued
 }
 
 // LockStats is a point-in-time snapshot of the lock manager's

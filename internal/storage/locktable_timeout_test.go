@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+func TestAcquireTimeoutExpires(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := lt.AcquireTimeout(2, key, Exclusive, 15*time.Millisecond)
+	if !errors.Is(err, core.ErrLockTimeout) {
+		t.Fatalf("got %v, want ErrLockTimeout", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("returned after only %v", d)
+	}
+	// The timed-out waiter left no residue: queue empty, holder intact.
+	if lt.QueueLen(key) != 0 {
+		t.Fatalf("queue length = %d after timeout", lt.QueueLen(key))
+	}
+	if !lt.Holds(1, key, Exclusive) {
+		t.Fatal("holder disturbed by timed-out waiter")
+	}
+	lt.Release(1, key)
+	if held, queued := lt.Outstanding(); held != 0 || queued != 0 {
+		t.Fatalf("outstanding = %d/%d", held, queued)
+	}
+}
+
+func TestAcquireTimeoutZeroWaitsForever(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	if err := lt.Acquire(1, key, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lt.AcquireTimeout(2, key, Exclusive, 0) }()
+	select {
+	case err := <-got:
+		t.Fatalf("untimed waiter returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	lt.Release(1, key)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	lt.Release(2, key)
+}
+
+// TestAcquireTimeoutGrantRace releases the lock right at the deadline,
+// many times over: whichever way each race lands, the waiter must end
+// up either holding the lock (grant won) or reporting ErrLockTimeout
+// with no queue residue — never both, never neither.
+func TestAcquireTimeoutGrantRace(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	lt := NewLockTable()
+	key := lk("T", 1)
+	for i := 0; i < iters; i++ {
+		if err := lt.Acquire(1, key, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		const d = 500 * time.Microsecond
+		got := make(chan error, 1)
+		go func() { got <- lt.AcquireTimeout(2, key, Exclusive, d) }()
+		time.Sleep(d) // aim the release at the deadline
+		lt.Release(1, key)
+		err := <-got
+		if err == nil {
+			if !lt.Holds(2, key, Exclusive) {
+				t.Fatalf("iter %d: grant reported but not held", i)
+			}
+			lt.Release(2, key)
+		} else if errors.Is(err, core.ErrLockTimeout) {
+			if lt.Holds(2, key, Exclusive) {
+				t.Fatalf("iter %d: timeout reported but lock held", i)
+			}
+		} else {
+			t.Fatalf("iter %d: unexpected verdict %v", i, err)
+		}
+		if held, queued := lt.Outstanding(); held != 0 || queued != 0 {
+			t.Fatalf("iter %d: outstanding %d/%d", i, held, queued)
+		}
+	}
+}
+
+// TestWithdrawWakesSuccessor pins the withdraw path's grant propagation:
+// S-waiters queued behind a timed-out X-waiter must be granted when the
+// X-waiter withdraws (the X-waiter was the only thing blocking them
+// once the S-holder is compatible).
+func TestWithdrawWakesSuccessor(t *testing.T) {
+	lt := NewLockTable()
+	key := lk("T", 1)
+	// tx1 holds S; tx2 queues for X (incompatible); tx3 queues for S
+	// behind tx2 (FIFO fairness keeps it waiting).
+	if err := lt.Acquire(1, key, Shared); err != nil {
+		t.Fatal(err)
+	}
+	xgot := make(chan error, 1)
+	go func() { xgot <- lt.AcquireTimeout(2, key, Exclusive, 25*time.Millisecond) }()
+	for lt.QueueLen(key) != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	sgot := make(chan error, 1)
+	go func() { sgot <- lt.AcquireTimeout(3, key, Shared, 0) }()
+	for lt.QueueLen(key) != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// tx2 times out; its withdrawal must unblock tx3 (S compatible with
+	// tx1's S).
+	if err := <-xgot; !errors.Is(err, core.ErrLockTimeout) {
+		t.Fatalf("x-waiter: %v", err)
+	}
+	select {
+	case err := <-sgot:
+		if err != nil {
+			t.Fatalf("s-waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("s-waiter not woken by the withdrawal")
+	}
+	lt.Release(1, key)
+	lt.Release(3, key)
+	if held, queued := lt.Outstanding(); held != 0 || queued != 0 {
+		t.Fatalf("outstanding %d/%d", held, queued)
+	}
+}
+
+func TestOutstandingCountsHeldAndQueued(t *testing.T) {
+	lt := NewLockTable()
+	k1, k2 := lk("T", 1), lk("T", 2)
+	if err := lt.Acquire(1, k1, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(1, k2, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(2, k2, Shared); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = lt.AcquireTimeout(3, k1, Exclusive, 50*time.Millisecond)
+	}()
+	for {
+		if _, queued := lt.Outstanding(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	held, queued := lt.Outstanding()
+	if held != 3 || queued != 1 {
+		t.Fatalf("outstanding = %d/%d, want 3/1", held, queued)
+	}
+	wg.Wait()
+	lt.ReleaseAll(1)
+	lt.ReleaseAll(2)
+	if held, queued := lt.Outstanding(); held != 0 || queued != 0 {
+		t.Fatalf("outstanding = %d/%d after release", held, queued)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sicost/internal/core"
+	"sicost/internal/faultinject"
 )
 
 // tableStripes is the number of hash partitions of a table's row map
@@ -30,6 +31,11 @@ type Table struct {
 	stripes [tableStripes]rowStripe
 
 	indexes []*UniqueIndex // parallel to schema.Unique
+
+	// faults is the (possibly nil) fault-injection registry consulted
+	// by the ReadRow/WriteRow access paths; installed via
+	// Store.SetFaults before transactions run.
+	faults *faultinject.Registry
 }
 
 // NewTable builds an empty table for a validated schema.
@@ -86,6 +92,49 @@ func (t *Table) EnsureRow(key core.Value) *Row {
 	return r
 }
 
+// Fault-point names of the storage row-access paths.
+const (
+	// FaultRowRead fires on every transactional row lookup (engine
+	// Get/ReadForUpdate and the read half of updates/deletes).
+	FaultRowRead = "storage/row/read"
+	// FaultRowWrite fires on every transactional row-write access
+	// (engine Update/Insert/Delete, before the version is installed).
+	FaultRowWrite = "storage/row/write"
+)
+
+// ReadRow is Row behind the FaultRowRead point: the transactional read
+// path, so chaos runs can fail or stall point reads per table/key.
+func (t *Table) ReadRow(txID uint64, key core.Value) (*Row, error) {
+	if t.faults != nil {
+		if err := t.faults.Fire(FaultRowRead, faultinject.Ctx{Tx: txID, Table: t.schema.Name, Key: key}); err != nil {
+			return nil, err
+		}
+	}
+	return t.Row(key), nil
+}
+
+// WriteRow is Row behind the FaultRowWrite point: the update/delete
+// write path (the row must already exist).
+func (t *Table) WriteRow(txID uint64, key core.Value) (*Row, error) {
+	if t.faults != nil {
+		if err := t.faults.Fire(FaultRowWrite, faultinject.Ctx{Tx: txID, Table: t.schema.Name, Key: key}); err != nil {
+			return nil, err
+		}
+	}
+	return t.Row(key), nil
+}
+
+// EnsureWriteRow is EnsureRow behind the FaultRowWrite point: the
+// insert path, which creates the anchor when absent.
+func (t *Table) EnsureWriteRow(txID uint64, key core.Value) (*Row, error) {
+	if t.faults != nil {
+		if err := t.faults.Fire(FaultRowWrite, faultinject.Ctx{Tx: txID, Table: t.schema.Name, Key: key}); err != nil {
+			return nil, err
+		}
+	}
+	return t.EnsureRow(key), nil
+}
+
 // Indexes returns the table's unique secondary indexes.
 func (t *Table) Indexes() []*UniqueIndex { return t.indexes }
 
@@ -121,6 +170,18 @@ func (t *Table) RowCount() int {
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	faults *faultinject.Registry
+}
+
+// SetFaults installs the fault registry on the store and every table,
+// current and future. Must be called before transactions are in flight.
+func (s *Store) SetFaults(r *faultinject.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = r
+	for _, t := range s.tables {
+		t.faults = r
+	}
 }
 
 // NewStore creates an empty store.
@@ -139,6 +200,7 @@ func (s *Store) CreateTable(schema *core.Schema) (*Table, error) {
 	if _, dup := s.tables[schema.Name]; dup {
 		return nil, fmt.Errorf("storage: table %s already exists", schema.Name)
 	}
+	t.faults = s.faults
 	s.tables[schema.Name] = t
 	return t, nil
 }

@@ -17,6 +17,21 @@ import (
 	"time"
 
 	"sicost/internal/core"
+	"sicost/internal/faultinject"
+)
+
+// Fault-point names of the simulated log device.
+const (
+	// FaultCommit fires at the head of Commit, before the record is
+	// enqueued (a connection to the log that dies before the write).
+	// It fires even when the simulated device is disabled, so chaos
+	// runs against latency-free test configurations still exercise
+	// commit-path failures.
+	FaultCommit = "wal/commit"
+	// FaultFlush fires once per device write; an injected error fails
+	// every commit record in that flush group. It generalizes the
+	// one-off InjectFailure hook.
+	FaultFlush = "wal/flush"
 )
 
 // Config parameterizes the simulated log device.
@@ -63,9 +78,11 @@ func (s Stats) AvgBatch() float64 {
 // WAL is the simulated group-commit log. The zero value is not usable;
 // call New.
 type WAL struct {
-	cfg Config
+	cfg    Config
+	faults *faultinject.Registry
 
 	mu      sync.Mutex
+	idle    sync.Cond // broadcast when the flush loop exits
 	pending []*Record
 	flusher bool // a flush loop is running
 	closed  bool
@@ -76,14 +93,24 @@ type WAL struct {
 // New creates a WAL. If cfg.FsyncLatency is zero the log is disabled and
 // Commit returns immediately.
 func New(cfg Config) *WAL {
-	return &WAL{cfg: cfg}
+	w := &WAL{cfg: cfg}
+	w.idle.L = &w.mu
+	return w
 }
+
+// SetFaults installs the fault registry consulted by the FaultCommit
+// and FaultFlush points (nil disables). Call before commits are in
+// flight.
+func (w *WAL) SetFaults(r *faultinject.Registry) { w.faults = r }
 
 // Commit appends a commit record for txID carrying n payload bytes and
 // blocks until the record is durable (its flush group's device write
 // completed). It returns core.ErrWALClosed if the device shuts down
 // first, or the injected fault if one is set.
 func (w *WAL) Commit(txID uint64, n int) error {
+	if err := w.faults.Fire(FaultCommit, faultinject.Ctx{Tx: txID}); err != nil {
+		return err
+	}
 	if w.cfg.FsyncLatency <= 0 {
 		return nil
 	}
@@ -112,7 +139,9 @@ func (w *WAL) flushLoop() {
 		w.mu.Lock()
 		if len(w.pending) == 0 || w.closed {
 			w.flusher = false
-			// Closing drains remaining waiters in Close; nothing to do.
+			// Closing drains remaining waiters in Close; wake it now
+			// that no flush is in flight.
+			w.idle.Broadcast()
 			w.mu.Unlock()
 			return
 		}
@@ -125,6 +154,10 @@ func (w *WAL) flushLoop() {
 		}
 		err := w.failErr
 		w.mu.Unlock()
+
+		if err == nil {
+			err = w.faults.Fire(FaultFlush, faultinject.Ctx{})
+		}
 
 		// The device write. Every record in the batch shares this wait —
 		// group commit.
@@ -160,17 +193,24 @@ func (w *WAL) Stats() Stats {
 }
 
 // Close shuts the device down. Pending, unflushed records fail with
-// core.ErrWALClosed. Close is idempotent.
+// core.ErrWALClosed; records already in a device write are acknowledged
+// by that flush. Close is idempotent, safe against concurrent Commit
+// and concurrent Close, and returns only once no flush goroutine is
+// running — a closed WAL has no background activity left.
 func (w *WAL) Close() {
 	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
-		return
-	}
 	w.closed = true
 	pending := w.pending
 	w.pending = nil
+	for w.flusher {
+		w.idle.Wait()
+	}
 	w.mu.Unlock()
+	// The flush loop exited and Commit rejects new records once closed,
+	// so these drained records are exclusively ours to fail. Each
+	// record's done channel is buffered and receives exactly one
+	// verdict, so a second racing Close (which drained an empty
+	// pending slice) cannot double-send.
 	for _, r := range pending {
 		r.done <- core.ErrWALClosed
 	}

@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"sicost/internal/core"
 	"sicost/internal/engine"
+	"sicost/internal/faultinject"
 	"sicost/internal/metrics"
 	"sicost/internal/smallbank"
 )
@@ -94,6 +96,9 @@ type Config struct {
 	// after serialization/deadlock aborts before the client gives up
 	// and moves on (each attempt's abort is still counted).
 	MaxRetries int
+	// Retry chooses the retry discipline. Nil means
+	// ImmediatePolicy{MaxRetries} — the paper's closed-loop behaviour.
+	Retry RetryPolicy
 }
 
 func (c *Config) defaults() error {
@@ -125,6 +130,9 @@ func (c *Config) defaults() error {
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 50
 	}
+	if c.Retry == nil {
+		c.Retry = ImmediatePolicy{MaxRetries: c.MaxRetries}
+	}
 	return nil
 }
 
@@ -134,8 +142,15 @@ type TypeStats struct {
 	Commits int64
 	// Aborts counts attempts that did not commit, by reason.
 	Aborts map[core.AbortReason]int64
+	// Retries counts re-attempts after retriable aborts.
+	Retries int64
+	// Backoff is total time spent sleeping between retries.
+	Backoff time.Duration
+	// GiveUps counts interactions abandoned when the retry policy
+	// refused another attempt (retry or budget exhaustion).
+	GiveUps int64
 	// Latency records the client-perceived response time of each
-	// completed interaction (including its retries).
+	// completed interaction (including its retries and backoff).
 	Latency metrics.LatencyRecorder
 }
 
@@ -171,6 +186,17 @@ type Result struct {
 	TPS float64
 	// MeanLatency is the mean committed-interaction response time.
 	MeanLatency time.Duration
+	// Retries, BackoffTime and GiveUps aggregate the retry discipline's
+	// activity over the measurement interval.
+	Retries     int64
+	BackoffTime time.Duration
+	GiveUps     int64
+	// CommittedDelta is the net money movement of every committed
+	// DepositChecking/TransactSaving over the whole run (ramp included):
+	// the amount by which smallbank.TotalMoney should have changed when
+	// the mix contains no WriteCheck (whose overdraft penalty the client
+	// cannot observe). The chaos harness checks conservation against it.
+	CommittedDelta int64
 	// Contention is the engine's synchronization-counter delta over the
 	// whole run (ramp included): lock fast-path/wait/deadlock counts,
 	// blocked time, per-stripe wait skew, commit-sequencer waits.
@@ -180,6 +206,9 @@ type Result struct {
 // clientStats is each goroutine's private accumulator.
 type clientStats struct {
 	perType [smallbank.NumTxnTypes]TypeStats
+	// ledger is the client's committed money movement over the whole
+	// run (see Result.CommittedDelta).
+	ledger int64
 }
 
 func newClientStats() *clientStats {
@@ -223,14 +252,23 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	}
 	var lat metrics.LatencyRecorder
 	for _, cs := range stats {
+		res.CommittedDelta += cs.ledger
 		for i := range cs.perType {
 			res.PerType[i].Commits += cs.perType[i].Commits
 			for r, n := range cs.perType[i].Aborts {
 				res.PerType[i].Aborts[r] += n
 			}
+			res.PerType[i].Retries += cs.perType[i].Retries
+			res.PerType[i].Backoff += cs.perType[i].Backoff
+			res.PerType[i].GiveUps += cs.perType[i].GiveUps
 			res.PerType[i].Latency.Merge(&cs.perType[i].Latency)
 			lat.Merge(&cs.perType[i].Latency)
 		}
+	}
+	for i := range res.PerType {
+		res.Retries += res.PerType[i].Retries
+		res.BackoffTime += res.PerType[i].Backoff
+		res.GiveUps += res.PerType[i].GiveUps
 	}
 	for i := range res.PerType {
 		res.Commits += res.PerType[i].Commits
@@ -243,7 +281,8 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 }
 
 // client is one closed-system thread: run a transaction, wait for the
-// reply, immediately start the next (§IV: "no think time").
+// reply, immediately start the next (§IV: "no think time"), or sleep
+// first when the retry policy prescribes backoff.
 func client(db *engine.DB, cfg Config, rng *rand.Rand, cs *clientStats, measureStart, deadline time.Time) {
 	for {
 		now := time.Now()
@@ -257,10 +296,12 @@ func client(db *engine.DB, cfg Config, rng *rand.Rand, cs *clientStats, measureS
 
 		begin := time.Now()
 		committed := false
-		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-			err := smallbank.Run(db, cfg.Strategy, typ, params)
+		var spentBackoff time.Duration
+		for failures := 0; ; {
+			err := runAttempt(db, cfg.Strategy, typ, params)
 			if err == nil {
 				committed = true
+				cs.ledger += ledgerDelta(typ, params)
 				if measuring {
 					cs.perType[typ].Commits++
 				}
@@ -269,8 +310,29 @@ func client(db *engine.DB, cfg Config, rng *rand.Rand, cs *clientStats, measureS
 			if measuring {
 				cs.perType[typ].Aborts[core.ClassifyAbort(err)]++
 			}
+			if errors.Is(err, core.ErrShuttingDown) {
+				return // database is draining; the client is done
+			}
 			if !core.IsRetriable(err) {
 				break // application rollback or hard error: new params
+			}
+			failures++
+			d, retry := cfg.Retry.Backoff(failures, spentBackoff, rng)
+			if !retry {
+				if measuring {
+					cs.perType[typ].GiveUps++
+				}
+				break
+			}
+			if d > 0 {
+				time.Sleep(d)
+				spentBackoff += d
+				if measuring {
+					cs.perType[typ].Backoff += d
+				}
+			}
+			if measuring {
+				cs.perType[typ].Retries++
 			}
 			if time.Now().After(deadline) {
 				return
@@ -279,6 +341,37 @@ func client(db *engine.DB, cfg Config, rng *rand.Rand, cs *clientStats, measureS
 		if committed && measuring {
 			cs.perType[typ].Latency.Add(time.Since(begin))
 		}
+	}
+}
+
+// runAttempt executes one smallbank attempt, converting an injected
+// panic (faultinject.ActPanic) into an ordinary non-retriable error so
+// chaos runs keep going; any other panic propagates.
+func runAttempt(db *engine.DB, s *smallbank.Strategy, typ smallbank.TxnType, p smallbank.Params) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := faultinject.AsPanic(r)
+			if !ok {
+				panic(r)
+			}
+			err = f
+		}
+	}()
+	return smallbank.Run(db, s, typ, p)
+}
+
+// ledgerDelta is the exact change a committed transaction makes to
+// smallbank.TotalMoney: deposits add V, TransactSaving moves V (possibly
+// negative) in or out, Balance/Amalgamate conserve. WriteCheck is the
+// one program whose delta the client cannot know (the overdraft penalty
+// depends on state it raced for), so conservation checks require a mix
+// without it.
+func ledgerDelta(typ smallbank.TxnType, p smallbank.Params) int64 {
+	switch typ {
+	case smallbank.DepositChecking, smallbank.TransactSaving:
+		return p.V
+	default:
+		return 0
 	}
 }
 

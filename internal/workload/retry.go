@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy decides how a client reacts to a retriable abort
+// (serialization failure, deadlock victim, lock-wait timeout). The
+// paper's driver retries immediately in a closed loop; under contention
+// storms that turns every hotspot conflict into instant re-conflict,
+// which is exactly the regime where backoff pays (the PostgreSQL SSI
+// deployment guidance makes the same point about safe retry).
+type RetryPolicy interface {
+	// Backoff reports whether the n-th consecutive failure of one
+	// logical interaction (n starts at 1) should be retried, and how
+	// long to back off first. spent is the backoff already slept for
+	// this interaction, so budgeted policies can give up.
+	Backoff(n int, spent time.Duration, rng *rand.Rand) (time.Duration, bool)
+	// Name labels the policy in results and CLI output.
+	Name() string
+}
+
+// ImmediatePolicy retries instantly up to MaxRetries times — the
+// paper's original closed-loop discipline.
+type ImmediatePolicy struct {
+	// MaxRetries bounds retries per interaction (the initial attempt is
+	// not counted); <= 0 never retries.
+	MaxRetries int
+}
+
+// Backoff implements RetryPolicy.
+func (p ImmediatePolicy) Backoff(n int, _ time.Duration, _ *rand.Rand) (time.Duration, bool) {
+	return 0, n <= p.MaxRetries
+}
+
+// Name implements RetryPolicy.
+func (p ImmediatePolicy) Name() string { return fmt.Sprintf("immediate(max=%d)", p.MaxRetries) }
+
+// BackoffPolicy retries after capped exponential backoff with jitter
+// and an optional total-backoff budget per interaction.
+type BackoffPolicy struct {
+	// MaxRetries bounds retries per interaction; <= 0 never retries.
+	MaxRetries int
+	// Base is the first retry's backoff; doubles per failure up to Cap.
+	Base time.Duration
+	// Cap bounds one backoff step (0 = uncapped).
+	Cap time.Duration
+	// Jitter in [0,1] randomizes each step: the slept duration is
+	// drawn uniformly from [d*(1-Jitter), d]. 0 is deterministic
+	// backoff; 1 is AWS-style full jitter.
+	Jitter float64
+	// Budget caps the total backoff per interaction; a retry whose
+	// backoff would exceed it gives up instead (0 = unlimited).
+	Budget time.Duration
+}
+
+// DefaultBackoff is the chaos harness's default retry policy: capped
+// exponential backoff with half jitter, tuned to the simulated
+// engine's sub-millisecond transaction times.
+func DefaultBackoff(maxRetries int) BackoffPolicy {
+	return BackoffPolicy{
+		MaxRetries: maxRetries,
+		Base:       200 * time.Microsecond,
+		Cap:        20 * time.Millisecond,
+		Jitter:     0.5,
+	}
+}
+
+// Backoff implements RetryPolicy.
+func (p BackoffPolicy) Backoff(n int, spent time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	if n > p.MaxRetries {
+		return 0, false
+	}
+	d := p.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.Cap > 0 && d >= p.Cap {
+			d = p.Cap
+			break
+		}
+	}
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	if p.Jitter > 0 && d > 0 {
+		lo := float64(d) * (1 - p.Jitter)
+		d = time.Duration(lo + rng.Float64()*(float64(d)-lo))
+	}
+	if p.Budget > 0 && spent+d > p.Budget {
+		return 0, false
+	}
+	return d, true
+}
+
+// Name implements RetryPolicy.
+func (p BackoffPolicy) Name() string {
+	return fmt.Sprintf("backoff(max=%d base=%v cap=%v jitter=%.2f budget=%v)",
+		p.MaxRetries, p.Base, p.Cap, p.Jitter, p.Budget)
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+func TestImmediatePolicy(t *testing.T) {
+	p := ImmediatePolicy{MaxRetries: 2}
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 2; n++ {
+		d, ok := p.Backoff(n, 0, rng)
+		if !ok || d != 0 {
+			t.Fatalf("failure %d: (%v, %v), want (0, true)", n, d, ok)
+		}
+	}
+	if _, ok := p.Backoff(3, 0, rng); ok {
+		t.Fatal("retried past MaxRetries")
+	}
+	if _, ok := (ImmediatePolicy{}).Backoff(1, 0, rng); ok {
+		t.Fatal("zero policy retried")
+	}
+}
+
+func TestBackoffPolicyGrowthAndCap(t *testing.T) {
+	p := BackoffPolicy{MaxRetries: 10, Base: time.Millisecond, Cap: 4 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		4 * time.Millisecond, 4 * time.Millisecond,
+	}
+	for i, w := range want {
+		d, ok := p.Backoff(i+1, 0, rng)
+		if !ok {
+			t.Fatalf("failure %d refused", i+1)
+		}
+		if d != w {
+			t.Fatalf("failure %d: backoff %v, want %v", i+1, d, w)
+		}
+	}
+	if _, ok := p.Backoff(11, 0, rng); ok {
+		t.Fatal("retried past MaxRetries")
+	}
+}
+
+func TestBackoffPolicyJitterRange(t *testing.T) {
+	p := BackoffPolicy{MaxRetries: 1, Base: 10 * time.Millisecond, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(7))
+	lo, hi := 5*time.Millisecond, 10*time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		d, ok := p.Backoff(1, 0, rng)
+		if !ok {
+			t.Fatal("refused")
+		}
+		if d < lo || d > hi {
+			t.Fatalf("jittered backoff %v outside [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct values", len(seen))
+	}
+}
+
+func TestBackoffPolicyBudget(t *testing.T) {
+	p := BackoffPolicy{MaxRetries: 100, Base: 2 * time.Millisecond, Budget: 5 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	var spent time.Duration
+	retries := 0
+	for n := 1; ; n++ {
+		d, ok := p.Backoff(n, spent, rng)
+		if !ok {
+			break
+		}
+		spent += d
+		retries++
+		if retries > 50 {
+			t.Fatal("budget never exhausted")
+		}
+	}
+	if spent > 5*time.Millisecond {
+		t.Fatalf("spent %v past the %v budget", spent, 5*time.Millisecond)
+	}
+	// Without jitter the steps are 2ms then 4ms: the first fits the 5ms
+	// budget, the second would exceed it and is refused.
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+}
+
+func TestRetryStatsSurfaceInResult(t *testing.T) {
+	db := loadedDB(t, core.Strict2PL, 50)
+	res, err := Run(db, Config{
+		Strategy:    nil, // defaults to SI strategy set
+		MPL:         8,
+		Customers:   50,
+		HotspotSize: 5,
+		HotspotProb: 1.0,
+		Measure:     measure(400 * time.Millisecond),
+		Seed:        1,
+		Retry:       DefaultBackoff(50),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	// A 5-customer hotspot under 2PL at MPL 8 must produce deadlock
+	// aborts and therefore retries with nonzero backoff time.
+	if res.Aborts > 0 && res.Retries == 0 && res.GiveUps == 0 {
+		t.Fatalf("aborts=%d but no retries and no give-ups recorded", res.Aborts)
+	}
+	if res.Retries > 0 && res.BackoffTime == 0 {
+		t.Fatal("retries recorded but no backoff time under a backoff policy")
+	}
+	var perTypeRetries int64
+	for i := range res.PerType {
+		perTypeRetries += res.PerType[i].Retries
+	}
+	if perTypeRetries != res.Retries {
+		t.Fatalf("per-type retries %d != total %d", perTypeRetries, res.Retries)
+	}
+}
