@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos ci
+.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos docs trace-smoke ci
 
 all: build test
 
@@ -47,13 +47,28 @@ chaos:
 		-mpl 8 -ramp 100ms -measure 500ms -retry backoff -seed 7 > /dev/null
 	$(GO) test -short -count=1 -run 'TestChaos|TestInjected|TestFaulted' ./internal/workload ./internal/detsim
 
+# Documentation gate: vet plus the package-doc lint (every package must
+# open with a conventional godoc comment; see cmd/doclint).
+docs: vet
+	$(GO) run ./cmd/doclint ./
+
+# Trace smoke: a short traced SmallBank run, then full schema +
+# lifecycle-invariant validation of the JSONL output (cmd/tracecheck).
+trace-smoke:
+	$(GO) run ./cmd/smallbank -mpl 8 -customers 500 -hotspot 50 -ramp 50ms \
+		-measure 300ms -seed 11 -trace trace_smoke.jsonl > /dev/null
+	$(GO) run ./cmd/tracecheck -q trace_smoke.jsonl
+	rm -f trace_smoke.jsonl
+
 # Parallel-commit scaling benchmarks; regenerates BENCH_engine.json with
-# the committed pre-sharding baseline alongside the current numbers.
+# the committed pre-sharding baseline alongside the current numbers and
+# the tracing overhead set (off / installed-but-disabled / capturing).
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkCommitParallel' -benchtime 1s -benchmem ./internal/engine | tee bench_latest.txt
+	$(GO) test -run XXX -bench 'BenchmarkCommitTraced' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_traced.txt
 	$(GO) run ./cmd/benchjson -o BENCH_engine.json \
-		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design." \
-		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt
-	rm -f bench_latest.txt
+		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled)." \
+		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt
+	rm -f bench_latest.txt bench_traced.txt
 
-ci: build vet test race stress fuzzsmoke chaos
+ci: build docs test race stress fuzzsmoke chaos trace-smoke

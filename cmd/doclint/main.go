@@ -1,0 +1,120 @@
+// Command doclint enforces the repository's documentation floor: every
+// package must carry a package doc comment, and the comment must open
+// with the godoc convention — "Package <name> ..." for libraries,
+// "Command <name> ..." for main packages. `make docs` runs it over the
+// whole module alongside go vet.
+//
+// Usage:
+//
+//	doclint [root ...]   # default: .
+//
+// Exit status is 1 if any package is missing or misleads its doc.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var bad int
+	for _, root := range roots {
+		problems, err := lint(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d package(s) flagged\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lint walks root and checks every directory holding non-test Go files.
+func lint(root string) ([]string, error) {
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sorted []string
+	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+	var problems []string
+	for _, dir := range sorted {
+		if p := lintDir(dir, dirs[dir]); p != "" {
+			problems = append(problems, p)
+		}
+	}
+	return problems, nil
+}
+
+// lintDir checks one package directory: at least one file must carry a
+// package doc comment with the conventional opening.
+func lintDir(dir string, files []string) string {
+	fset := token.NewFileSet()
+	var pkgName string
+	var doc string
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Sprintf("%s: %v", path, err)
+		}
+		pkgName = f.Name.Name
+		if f.Doc != nil && doc == "" {
+			doc = f.Doc.Text()
+		}
+	}
+	if doc == "" {
+		return fmt.Sprintf("%s: package %s has no package doc comment", dir, pkgName)
+	}
+	want := "Package " + pkgName + " "
+	if pkgName == "main" {
+		want = "Command "
+	}
+	if !strings.HasPrefix(doc, want) {
+		return fmt.Sprintf("%s: package %s doc must start with %q (got %q)",
+			dir, pkgName, strings.TrimSpace(want), firstLine(doc))
+	}
+	return ""
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -12,11 +12,16 @@
 //	smallbank -strategies                  # list strategies
 //	smallbank -chaos -mode 2pl -check      # fault-injected run + invariant audit
 //	smallbank -retry backoff -retry-base 200us -retry-cap 20ms
+//	smallbank -trace run.jsonl             # dump the lifecycle event trace
+//	smallbank -pprof localhost:6060        # serve pprof/expvar while running
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"time"
 
@@ -26,6 +31,7 @@ import (
 	"sicost/internal/experiments"
 	"sicost/internal/faultinject"
 	"sicost/internal/smallbank"
+	"sicost/internal/trace"
 	"sicost/internal/workload"
 )
 
@@ -53,6 +59,8 @@ func main() {
 		retryCap     = flag.Duration("retry-cap", 20*time.Millisecond, "backoff policy: per-step cap")
 		retryJitter  = flag.Float64("retry-jitter", 0.5, "backoff policy: jitter fraction in [0,1]")
 		retryBudget  = flag.Duration("retry-budget", 0, "backoff policy: total backoff budget per interaction (0 = unlimited)")
+		tracePath    = flag.String("trace", "", "write the transaction-lifecycle event trace to this JSONL file")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -121,6 +129,14 @@ func main() {
 		engCfg.Faults = faults
 	}
 
+	// The recorder is created disabled so the bulk load below does not
+	// fill the rings; it is switched on for the workload run only.
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.New(trace.Options{Disabled: true})
+		engCfg.Tracer = rec
+	}
+
 	// Load on free hardware, then install the measured profile.
 	measured := engCfg.Res
 	engCfg.Res.VirtualCPUs = 0
@@ -136,6 +152,18 @@ func main() {
 		os.Exit(1)
 	}
 	db.SetResources(measured)
+
+	if *pprofAddr != "" {
+		// Standard pprof endpoints plus the engine's transaction metrics
+		// as an expvar, so `curl host/debug/vars` shows live counters.
+		expvar.Publish("sicost_txn_metrics", expvar.Func(func() any { return db.TxnMetrics() }))
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof/expvar: http://%s/debug/pprof http://%s/debug/vars\n", *pprofAddr, *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "smallbank: pprof server:", err)
+			}
+		}()
+	}
 
 	var chk *checker.Checker
 	if *check && !*chaos {
@@ -161,6 +189,8 @@ func main() {
 		Ramp: *ramp, Measure: *measure, Seed: *seed,
 		MaxRetries: *retries, Retry: policy,
 	}
+
+	rec.SetEnabled(true) // no-op when -trace is unset (nil recorder)
 
 	var res *workload.Result
 	var chaosRep *workload.ChaosReport
@@ -223,6 +253,35 @@ func main() {
 	}
 	fmt.Printf("\ncommit sequencer: %d publish waits\n", res.Contention.CommitPublishWaits)
 
+	eng := res.Engine
+	fmt.Printf("\nengine aborts by taxonomy reason (attribution %.1f%%):\n", 100*res.AbortAttribution())
+	for r := core.AbortNone + 1; r <= core.AbortOther; r++ {
+		if n := eng.Aborts[r]; n > 0 {
+			fmt.Printf("  %-15s %d\n", r, n)
+		}
+	}
+	if eng.Aborts.Total() == 0 {
+		fmt.Println("  (none)")
+	}
+	if w := eng.LockWait; w.Count > 0 {
+		fmt.Printf("lock-wait histogram: %d waits, mean %v, p95 %v, max %v\n",
+			w.Count, w.Mean().Round(time.Microsecond),
+			w.Quantile(0.95).Round(time.Microsecond), w.Max().Round(time.Microsecond))
+	}
+	if c := eng.CommitLatency; c.Count > 0 {
+		fmt.Printf("commit latency: %d updating commits, mean %v, p95 %v, max %v\n",
+			c.Count, c.Mean().Round(time.Microsecond),
+			c.Quantile(0.95).Round(time.Microsecond), c.Max().Round(time.Microsecond))
+	}
+
+	if rec != nil {
+		rec.SetEnabled(false)
+		if err := writeTrace(rec, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
+	}
+
 	if chk != nil {
 		rep := chk.Analyze()
 		fmt.Printf("\nserializability: %s", rep.Describe())
@@ -252,4 +311,34 @@ func main() {
 		}
 		fmt.Println("invariants: all held")
 	}
+}
+
+// writeTrace drains the recorder, sanity-checks the stream against the
+// lifecycle invariants and writes it as JSONL. Ring overflow is reported
+// but is not an error (the trace just has gaps).
+func writeTrace(rec *trace.Recorder, path string) error {
+	events := rec.Drain()
+	dropped := rec.Dropped()
+	// A complete stream must satisfy the strict lifecycle invariants;
+	// with ring overflow, only the schema-level checks can hold.
+	if err := trace.ValidateWith(events, trace.ValidateOptions{AllowGaps: dropped > 0}); err != nil {
+		return fmt.Errorf("trace validation: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace: %d events -> %s", len(events), path)
+	if dropped > 0 {
+		fmt.Printf(" (%d dropped on ring overflow)", dropped)
+	}
+	fmt.Println()
+	return nil
 }

@@ -1,0 +1,68 @@
+// Command tracecheck validates and summarizes a transaction-lifecycle
+// trace in the JSONL wire format (internal/trace). It is the consumer
+// side of `smallbank -trace out.jsonl`: the CI trace-smoke target runs
+// it over a short capture to pin both the schema (every line must
+// decode) and the lifecycle invariants (begin-before-use, one terminal
+// event per transaction, paired lock waits, taxonomy-bounded reasons).
+//
+// Usage:
+//
+//	tracecheck run.jsonl
+//	smallbank -trace /dev/stdout ... | tracecheck -allow-gaps -q -
+//
+// -allow-gaps relaxes the wait/wake pairing and terminal-event checks
+// for truncated captures (the recorder drops events rather than block
+// when a ring fills); schema-level checks still apply. Exit status is 0
+// for a valid stream, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sicost/internal/trace"
+)
+
+func main() {
+	allowGaps := flag.Bool("allow-gaps", false, "tolerate truncated streams (unpaired waits, missing terminals)")
+	quiet := flag.Bool("q", false, "suppress the summary; only report validity")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracecheck [-allow-gaps] [-q] <trace.jsonl | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *allowGaps, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, allowGaps, quiet bool) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := trace.ParseJSONL(in)
+	if err != nil {
+		return err
+	}
+	if err := trace.ValidateWith(events, trace.ValidateOptions{AllowGaps: allowGaps}); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Println(trace.Summarize(events))
+	}
+	fmt.Printf("ok: %d events\n", len(events))
+	return nil
+}

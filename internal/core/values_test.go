@@ -185,11 +185,11 @@ func TestSchemaCheckRecord(t *testing.T) {
 		t.Fatalf("valid record rejected: %v", err)
 	}
 	cases := []Record{
-		{Str("alice")},                  // wrong arity
-		{Str("alice"), Str("notint")},   // wrong kind
-		{Null(), Int(1)},                // null PK
-		{Str("alice"), Null()},          // null NotNull column
-		{Int(5), Int(1)},                // wrong PK kind
+		{Str("alice")},                // wrong arity
+		{Str("alice"), Str("notint")}, // wrong kind
+		{Null(), Int(1)},              // null PK
+		{Str("alice"), Null()},        // null NotNull column
+		{Int(5), Int(1)},              // wrong PK kind
 	}
 	for i, r := range cases {
 		if err := s.CheckRecord(r); err == nil {

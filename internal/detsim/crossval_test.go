@@ -143,4 +143,3 @@ func TestFormatHistory(t *testing.T) {
 		t.Fatalf("FormatHistory:\n%q\nwant\n%q", out, want)
 	}
 }
-

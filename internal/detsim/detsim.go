@@ -30,6 +30,7 @@ import (
 	"sicost/internal/engine"
 	"sicost/internal/faultinject"
 	"sicost/internal/histories"
+	"sicost/internal/trace"
 )
 
 // Status is how one dispatched step ended.
@@ -98,6 +99,9 @@ type Result struct {
 	// transaction has finished; a non-zero value means an abort path —
 	// injected or organic — leaked a grant or stranded a waiter.
 	HeldLocks, QueuedLocks int
+	// ReplaySkipped counts dispatch slots RunTrace dropped because the
+	// replayed execution diverged from the recording (zero elsewhere).
+	ReplaySkipped int
 }
 
 // Value returns the value read by the i-th dispatched step.
@@ -114,6 +118,13 @@ type Runner struct {
 	// the loader's seed commit hits commit-path points too: gate specs
 	// with After to skip it.
 	Faults *faultinject.Registry
+	// Tracer, when set, records the schedule's transaction-lifecycle
+	// events (internal/trace). It is installed only after the loader's
+	// seed transaction commits, so the stream holds scripted traffic
+	// exclusively — pair with trace.CounterClock for runs whose JSONL
+	// dump is byte-stable (schedules without lock waits; a blocked
+	// step's wait/wake events race the next dispatched step's).
+	Tracer *trace.Recorder
 }
 
 // Run parses the script (the histories DSL) and executes it step by
@@ -283,6 +294,9 @@ func newSched(r Runner, progs map[int][]histories.Step) (*sched, error) {
 	// The loader committed before the observer hooks were of interest;
 	// exclude it from the analyzed window.
 	chk.Reset()
+	if r.Tracer != nil {
+		db.SetTracer(r.Tracer)
+	}
 	db.SetWaitObserver((*waitObs)(sc))
 	for txn, prog := range progs {
 		sc.txns[txn] = &txnState{prog: prog, pending: -1}

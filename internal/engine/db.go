@@ -18,8 +18,10 @@ import (
 
 	"sicost/internal/core"
 	"sicost/internal/faultinject"
+	"sicost/internal/metrics"
 	"sicost/internal/simres"
 	"sicost/internal/storage"
+	"sicost/internal/trace"
 	"sicost/internal/wal"
 )
 
@@ -74,6 +76,10 @@ type Config struct {
 	// storage and WAL fault points; nil (the default) compiles every
 	// hook down to a pointer test.
 	Faults *faultinject.Registry
+	// Tracer records transaction-lifecycle events (internal/trace); nil
+	// (the default) compiles every emission point down to a pointer
+	// test, and a disabled recorder costs one extra atomic load.
+	Tracer *trace.Recorder
 }
 
 // VersionRef identifies a version a transaction read or wrote, for the
@@ -172,6 +178,16 @@ type DB struct {
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
+
+	// tracer records lifecycle events; nil disables every emission point.
+	tracer *trace.Recorder
+	// txnMetrics holds the abort taxonomy and the lock-wait/commit-latency
+	// histograms; always allocated (recording into it is atomic adds).
+	txnMetrics metrics.TxnMetrics
+	// meterCommitLatency gates the commit-latency histogram's time.Now
+	// calls: the workload driver enables it for measured runs, keeping
+	// the default commit path free of clock reads.
+	meterCommitLatency atomic.Bool
 }
 
 // Open creates a database instance from cfg.
@@ -192,6 +208,10 @@ func Open(cfg Config) *DB {
 	if cfg.Faults != nil {
 		db.store.SetFaults(cfg.Faults)
 		db.log.SetFaults(cfg.Faults)
+	}
+	db.locks.SetWaitHistogram(&db.txnMetrics.LockWait)
+	if cfg.Tracer != nil {
+		db.setTracer(cfg.Tracer)
 	}
 	db.seqWaiters = make(map[uint64]chan struct{})
 	if cfg.Mode == core.SerializableSI {
@@ -348,6 +368,35 @@ func (db *DB) Stats() (commits, aborts uint64) {
 	return db.commits.Load(), db.aborts.Load()
 }
 
+// setTracer wires a recorder into every emission layer (engine, lock
+// table, WAL).
+func (db *DB) setTracer(r *trace.Recorder) {
+	db.tracer = r
+	db.locks.SetTracer(r)
+	db.log.SetTracer(r)
+}
+
+// SetTracer installs (or, with nil, removes) the lifecycle-event
+// recorder after Open. Must not be called while transactions are in
+// flight; to pause and resume capture on a live database, keep the
+// recorder installed and use its SetEnabled switch instead.
+func (db *DB) SetTracer(r *trace.Recorder) { db.setTracer(r) }
+
+// Tracer returns the installed lifecycle recorder (nil when tracing is
+// not configured).
+func (db *DB) Tracer() *trace.Recorder { return db.tracer }
+
+// TxnMetrics snapshots the engine's transaction metrics: commit count,
+// the abort taxonomy, and the lock-wait and commit-latency histograms.
+// Snapshots from two points of a run diff with TxnSnapshot.Delta.
+func (db *DB) TxnMetrics() metrics.TxnSnapshot { return db.txnMetrics.Snapshot() }
+
+// SetMetricsEnabled gates the commit-latency histogram (it needs two
+// clock reads per updating commit, which the ≤5%-overhead budget keeps
+// off the default path). Abort taxonomy and lock-wait metrics are
+// always on: they only touch cold paths.
+func (db *DB) SetMetricsEnabled(on bool) { db.meterCommitLatency.Store(on) }
+
 // Begin starts a transaction. The returned Tx must be finished with
 // Commit or Abort; it is not safe for concurrent use by multiple
 // goroutines (like a SQL session).
@@ -389,6 +438,10 @@ func (db *DB) Begin() *Tx {
 	}
 	if db.ssi != nil {
 		db.ssi.begin(tx)
+	}
+	if db.tracer.Enabled() {
+		db.tracer.Emit(trace.Event{Kind: trace.EvBegin, Tx: tx.id, CSN: start})
+		db.tracer.Emit(trace.Event{Kind: trace.EvSnapshot, Tx: tx.id, CSN: start})
 	}
 	return tx
 }

@@ -7,6 +7,7 @@ import (
 	"sicost/internal/core"
 	"sicost/internal/faultinject"
 	"sicost/internal/storage"
+	"sicost/internal/trace"
 )
 
 // logBytesPerWrite approximates the WAL payload of one row update (tuple
@@ -53,6 +54,12 @@ type Tx struct {
 	// PostgreSQL's "current transaction is aborted" state, every later
 	// statement returns it and Commit rolls back instead.
 	failedErr error
+
+	// abortCause remembers the error that doomed the transaction (the
+	// first retriable failure, or a commit-path error) so Abort can
+	// attribute the rollback to its core.ClassifyAbort taxonomy class.
+	// nil means a voluntary rollback (AbortNone).
+	abortCause error
 
 	nStmts int
 
@@ -124,8 +131,30 @@ func (tx *Tx) stmt() error {
 func (tx *Tx) fail(err error) error {
 	if core.IsRetriable(err) && tx.failedErr == nil {
 		tx.failedErr = err
+		tx.abortCause = err
 	}
 	return err
+}
+
+// traceConflict emits an EvConflict lifecycle event when tracing is on.
+func (tx *Tx) traceConflict(cause uint8, table string, key core.Value) {
+	if tx.db.tracer.Enabled() {
+		tx.db.tracer.Emit(trace.Event{
+			Kind: trace.EvConflict, Tx: tx.id,
+			Table: table, Key: key, Reason: cause,
+		})
+	}
+}
+
+// traceStmt emits a statement-start lifecycle event (EvRead, EvWrite or
+// EvSFU) when tracing is on. Emission precedes any lock wait the
+// statement may enter, so each transaction's event order equals its
+// statement dispatch order — the property detsim's trace replay relies
+// on.
+func (tx *Tx) traceStmt(kind trace.Kind, table string, key core.Value) {
+	if tx.db.tracer.Enabled() {
+		tx.db.tracer.Emit(trace.Event{Kind: kind, Tx: tx.id, Table: table, Key: key})
+	}
 }
 
 func (tx *Tx) table(name string) (*storage.Table, error) {
@@ -176,6 +205,7 @@ func (tx *Tx) Get(table string, key core.Value) (core.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	tx.traceStmt(trace.EvRead, table, key)
 	if tx.db.cfg.Mode == core.Strict2PL {
 		if err := tx.acquire(storage.LockKey{Table: table, Key: key}, storage.Shared); err != nil {
 			return nil, tx.fail(err)
@@ -194,6 +224,7 @@ func (tx *Tx) Get(table string, key core.Value) (core.Record, error) {
 	}
 	if tx.ssi != nil {
 		if err := tx.db.ssi.onRead(tx, table, key, row); err != nil {
+			tx.traceConflict(trace.ConflictSSI, table, key)
 			return nil, tx.fail(err)
 		}
 	}
@@ -245,11 +276,13 @@ func (tx *Tx) lockForWrite(tbl *storage.Table, key core.Value, row *storage.Row)
 		return nil // no version check: locks alone order 2PL writers
 	}
 	if nc := row.NewestCommitted(); nc != nil && nc.CSN() > tx.start {
+		tx.traceConflict(trace.ConflictFUW, tbl.Name(), key)
 		return tx.fail(core.ErrSerialization)
 	}
 	if tx.db.cfg.Platform == core.PlatformCommercial && row.LastSFUCommit() > tx.start {
 		// A concurrent transaction select-for-updated this row and
 		// committed: the commercial platform treats that like a write.
+		tx.traceConflict(trace.ConflictSFUCommit, tbl.Name(), key)
 		return tx.fail(core.ErrSerialization)
 	}
 	return nil
@@ -272,6 +305,7 @@ func (tx *Tx) Update(table string, key core.Value, rec core.Record) error {
 	if tbl.Schema().Key(rec) != key {
 		return fmt.Errorf("engine: update of %s changes primary key %v to %v", table, key, tbl.Schema().Key(rec))
 	}
+	tx.traceStmt(trace.EvWrite, table, key)
 	row, err := tbl.WriteRow(tx.id, key)
 	if err != nil {
 		return err
@@ -288,6 +322,7 @@ func (tx *Tx) Update(table string, key core.Value, rec core.Record) error {
 	}
 	if tx.ssi != nil {
 		if err := tx.db.ssi.onWrite(tx, table, key); err != nil {
+			tx.traceConflict(trace.ConflictSSI, table, key)
 			return tx.fail(err)
 		}
 	}
@@ -315,6 +350,7 @@ func (tx *Tx) Insert(table string, rec core.Record) error {
 		return err
 	}
 	key := tbl.Schema().Key(rec)
+	tx.traceStmt(trace.EvWrite, table, key)
 	row, err := tbl.EnsureWriteRow(tx.id, key)
 	if err != nil {
 		return err
@@ -337,6 +373,7 @@ func (tx *Tx) Insert(table string, rec core.Record) error {
 	}
 	if tx.ssi != nil {
 		if err := tx.db.ssi.onWrite(tx, table, key); err != nil {
+			tx.traceConflict(trace.ConflictSSI, table, key)
 			return tx.fail(err)
 		}
 	}
@@ -356,6 +393,7 @@ func (tx *Tx) Delete(table string, key core.Value) error {
 	if err != nil {
 		return err
 	}
+	tx.traceStmt(trace.EvWrite, table, key)
 	row, err := tbl.WriteRow(tx.id, key)
 	if err != nil {
 		return err
@@ -375,6 +413,7 @@ func (tx *Tx) Delete(table string, key core.Value) error {
 	}
 	if tx.ssi != nil {
 		if err := tx.db.ssi.onWrite(tx, table, key); err != nil {
+			tx.traceConflict(trace.ConflictSSI, table, key)
 			return tx.fail(err)
 		}
 	}
@@ -402,6 +441,7 @@ func (tx *Tx) ReadForUpdate(table string, key core.Value) (core.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	tx.traceStmt(trace.EvSFU, table, key)
 	row, err := tbl.ReadRow(tx.id, key)
 	if err != nil {
 		return nil, err
@@ -418,6 +458,7 @@ func (tx *Tx) ReadForUpdate(table string, key core.Value) (core.Record, error) {
 	}
 	if tx.ssi != nil {
 		if err := tx.db.ssi.onRead(tx, table, key, row); err != nil {
+			tx.traceConflict(trace.ConflictSSI, table, key)
 			return nil, tx.fail(err)
 		}
 	}
@@ -446,10 +487,13 @@ func (tx *Tx) Commit() error {
 		// failure or deadlock occurred); COMMIT acts as ROLLBACK, as in
 		// PostgreSQL.
 		err := tx.failedErr
+		tx.abortCause = err
 		tx.Abort()
 		return err
 	}
 	if tx.ssi != nil && tx.ssi.doomed() {
+		tx.traceConflict(trace.ConflictSSI, "", core.Value{})
+		tx.abortCause = core.ErrSerialization
 		tx.Abort()
 		return core.ErrSerialization
 	}
@@ -457,7 +501,16 @@ func (tx *Tx) Commit() error {
 	// Select-for-update on the commercial platform generates redo for
 	// the row locks (as Oracle does), so sfu-only transactions pay the
 	// updater's commit path too.
-	if len(tx.writes) > 0 || len(tx.sfus) > 0 {
+	updating := len(tx.writes) > 0 || len(tx.sfus) > 0
+
+	// Commit-latency metering is opt-in (SetMetricsEnabled): the two
+	// clock reads stay off the default commit path.
+	var commitStart time.Time
+	if updating && tx.db.meterCommitLatency.Load() {
+		commitStart = time.Now()
+	}
+
+	if updating {
 		// Commit-time CPU of an updating transaction (log-record and
 		// redo construction), charged before the device wait.
 		tx.db.machine.UseCPU(tx.db.machine.Config().UpdaterCommitCPU)
@@ -466,6 +519,7 @@ func (tx *Tx) Commit() error {
 		// committers. Locks are still held, so a blocked FUW writer
 		// waits through our fsync — exactly the PostgreSQL behaviour.
 		if err := tx.db.log.Commit(tx.id, logBytesPerWrite*(len(tx.writes)+len(tx.sfus))); err != nil {
+			tx.abortCause = err
 			tx.Abort()
 			return err
 		}
@@ -476,6 +530,8 @@ func (tx *Tx) Commit() error {
 		// be picked as an SSI abort victim, and a doom that raced the
 		// check above is caught now.
 		if err := tx.db.ssi.precommit(tx); err != nil {
+			tx.traceConflict(trace.ConflictSSI, "", core.Value{})
+			tx.abortCause = err
 			tx.Abort()
 			return err
 		}
@@ -489,12 +545,13 @@ func (tx *Tx) Commit() error {
 		Reads:    tx.reads,
 	}
 
-	if len(tx.writes) > 0 || len(tx.sfus) > 0 {
+	if updating {
 		// The stamp fault fires before the CSN exists: the last point
 		// where this commit can abort cleanly — versions unlinked,
 		// index entries removed, locks released, waiters woken.
 		if tx.db.faults != nil {
 			if err := tx.db.faults.Fire(FaultCommitStamp, faultinject.Ctx{Tx: tx.id}); err != nil {
+				tx.abortCause = err
 				tx.Abort()
 				return err
 			}
@@ -538,6 +595,13 @@ func (tx *Tx) Commit() error {
 	tx.db.locks.ReleaseAll(tx.id)
 	tx.done = true
 	tx.db.commits.Add(1)
+	tx.db.txnMetrics.Commits.Add(1)
+	if !commitStart.IsZero() {
+		tx.db.txnMetrics.CommitLatency.Record(time.Since(commitStart))
+	}
+	if tx.db.tracer.Enabled() {
+		tx.db.tracer.Emit(trace.Event{Kind: trace.EvCommit, Tx: tx.id, CSN: info.CommitCSN})
+	}
 	tx.db.endTx(tx)
 	tx.db.notifyCommit(info)
 	return nil
@@ -571,6 +635,11 @@ func (tx *Tx) Abort() {
 		// Handles rejected at Begin (shutdown) never ran; they are not
 		// aborted work.
 		tx.db.aborts.Add(1)
+		reason := core.ClassifyAbort(tx.abortCause)
+		tx.db.txnMetrics.Aborts.Inc(reason)
+		if tx.db.tracer.Enabled() {
+			tx.db.tracer.Emit(trace.Event{Kind: trace.EvAbort, Tx: tx.id, Reason: uint8(reason)})
+		}
 	}
 	tx.db.endTx(tx)
 }

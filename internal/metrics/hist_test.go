@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Mean() != 0 || s.Quantile(0.99) != 0 || s.Max() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, 4 * time.Microsecond, time.Millisecond} {
+		h.Record(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Max() != time.Millisecond {
+		t.Fatalf("max = %v, want 1ms", s.Max())
+	}
+	if m := s.Mean(); m < 200*time.Microsecond || m > 300*time.Microsecond {
+		t.Fatalf("mean = %v, want ~251µs", m)
+	}
+	// The p50 target rank lands in the 2µs bucket; log buckets bound the
+	// estimate within a factor of two.
+	if q := s.Quantile(0.5); q < time.Microsecond || q > 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [1µs, 4µs]", q)
+	}
+	if q := s.Quantile(1.0); q != time.Millisecond {
+		t.Fatalf("p100 = %v, want clamped to max 1ms", q)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second) // clamped to 0, bucket 0
+	h.Record(0)
+	h.Record(time.Duration(1) << 62) // beyond the last bucket boundary
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Counts[0] != 2 || s.Counts[HistBuckets-1] != 1 {
+		t.Fatalf("bucket spread wrong: first=%d last=%d", s.Counts[0], s.Counts[HistBuckets-1])
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	base := h.Snapshot()
+	h.Record(time.Second)
+	h.Record(time.Second)
+	d := h.Snapshot().Delta(base)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if d.Mean() != time.Second {
+		t.Fatalf("delta mean = %v, want 1s", d.Mean())
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	want := time.Duration(goroutines*per-1) * time.Microsecond
+	if s.Max() != want {
+		t.Fatalf("max = %v, want %v (CAS loop must not lose the maximum)", s.Max(), want)
+	}
+}
+
+func TestAbortCounters(t *testing.T) {
+	var a AbortCounters
+	a.Inc(core.AbortSerialization)
+	a.Inc(core.AbortSerialization)
+	a.Inc(core.AbortDeadlock)
+	a.Inc(core.AbortOther)
+	a.Inc(core.AbortReason(200)) // out of range folds into AbortOther
+	s := a.Snapshot()
+	if s[core.AbortSerialization] != 2 || s[core.AbortDeadlock] != 1 || s[core.AbortOther] != 2 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.Total() != 5 {
+		t.Fatalf("total = %d, want 5", s.Total())
+	}
+	if s.Attributed() != 3 {
+		t.Fatalf("attributed = %d, want 3", s.Attributed())
+	}
+	if r := s.AttributionRate(); r != 0.6 {
+		t.Fatalf("attribution rate = %v, want 0.6", r)
+	}
+	var empty AbortSnapshot
+	if empty.AttributionRate() != 1 {
+		t.Fatal("empty attribution rate must be 1")
+	}
+	d := s.Delta(AbortSnapshot{core.AbortSerialization: 0, core.AbortDeadlock: 0})
+	if d != s {
+		t.Fatalf("delta against zero changed the vector: %+v", d)
+	}
+}
+
+func TestTxnMetricsSnapshotDelta(t *testing.T) {
+	var m TxnMetrics
+	m.Commits.Add(3)
+	m.Aborts.Inc(core.AbortWAL)
+	m.LockWait.Record(time.Millisecond)
+	base := m.Snapshot()
+	m.Commits.Add(2)
+	m.Aborts.Inc(core.AbortWAL)
+	m.CommitLatency.Record(time.Microsecond)
+	d := m.Snapshot().Delta(base)
+	if d.Commits != 2 || d.Aborts[core.AbortWAL] != 1 || d.LockWait.Count != 0 || d.CommitLatency.Count != 1 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+}
+
+// TestLatencyRecorderMaxRace is the -race regression test for the
+// max-latency accounting: Max must be readable from a monitor goroutine
+// while the owner records, and the final maximum must never be lost.
+// Before maxNanos was CAS-maintained, a monitor's read raced the
+// owner's update and the race detector flagged it (and a racing
+// read-modify-write could publish a stale, smaller maximum).
+func TestLatencyRecorderMaxRace(t *testing.T) {
+	var r LatencyRecorder
+	const n = 5000
+	done := make(chan struct{})
+	go func() { // monitor: polls Max concurrently with the owner's Adds
+		defer close(done)
+		var last time.Duration
+		for i := 0; i < n; i++ {
+			m := r.Max()
+			if m < last {
+				t.Errorf("Max went backwards: %v after %v", m, last)
+				return
+			}
+			last = m
+		}
+	}()
+	for i := 1; i <= n; i++ { // owner goroutine
+		r.Add(time.Duration(i))
+	}
+	<-done
+	if r.Max() != time.Duration(n) {
+		t.Fatalf("max = %v, want %v", r.Max(), time.Duration(n))
+	}
+	snap := r.Snapshot()
+	if snap.Max() != time.Duration(n) {
+		t.Fatalf("snapshot max = %v, want %v", snap.Max(), time.Duration(n))
+	}
+	var merged LatencyRecorder
+	merged.Add(7 * time.Nanosecond)
+	merged.Merge(snap)
+	if merged.Max() != time.Duration(n) {
+		t.Fatalf("merged max = %v, want %v", merged.Max(), time.Duration(n))
+	}
+}

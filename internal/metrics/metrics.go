@@ -21,6 +21,13 @@ import (
 type LatencyRecorder struct {
 	busy    int32 // misuse detector; 1 while a call is in progress
 	samples []time.Duration
+	// maxNanos tracks the largest sample. It is maintained with a CAS
+	// loop (not a blind store) and read with an atomic load, so Max is
+	// safe to call from a monitoring goroutine while the owner is still
+	// recording — the one concurrent access the recorder supports. A
+	// plain read-compare-store here raced Snapshot/Merge and could lose
+	// the maximum; the CAS loop cannot.
+	maxNanos int64
 }
 
 // enter/exit bracket every method. The CAS costs two uncontended
@@ -40,6 +47,25 @@ func (r *LatencyRecorder) Add(d time.Duration) {
 	r.enter()
 	defer r.exit()
 	r.samples = append(r.samples, d)
+	r.bumpMax(d.Nanoseconds())
+}
+
+// bumpMax raises maxNanos to at least n via CAS, never lowering it.
+func (r *LatencyRecorder) bumpMax(n int64) {
+	for {
+		cur := atomic.LoadInt64(&r.maxNanos)
+		if n <= cur || atomic.CompareAndSwapInt64(&r.maxNanos, cur, n) {
+			return
+		}
+	}
+}
+
+// Max returns the largest sample recorded so far (0 when empty). Unlike
+// the other accessors it takes no ownership bracket: the atomic load
+// makes it safe to call concurrently with the owner's Add, so progress
+// monitors can poll it live.
+func (r *LatencyRecorder) Max() time.Duration {
+	return time.Duration(atomic.LoadInt64(&r.maxNanos))
 }
 
 // Count returns the number of samples.
@@ -58,6 +84,7 @@ func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
 	o.enter()
 	defer o.exit()
 	r.samples = append(r.samples, o.samples...)
+	r.bumpMax(atomic.LoadInt64(&o.maxNanos))
 }
 
 // Snapshot returns an independent copy of the recorder. It is the safe
@@ -67,7 +94,10 @@ func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
 func (r *LatencyRecorder) Snapshot() *LatencyRecorder {
 	r.enter()
 	defer r.exit()
-	out := &LatencyRecorder{samples: make([]time.Duration, len(r.samples))}
+	out := &LatencyRecorder{
+		samples:  make([]time.Duration, len(r.samples)),
+		maxNanos: atomic.LoadInt64(&r.maxNanos),
+	}
 	copy(out.samples, r.samples)
 	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"sicost/internal/core"
 	"sicost/internal/metrics"
+	"sicost/internal/trace"
 )
 
 // LockMode is the strength of a row lock.
@@ -133,6 +134,14 @@ type LockTable struct {
 	waits     *metrics.ContentionCounter
 	deadlocks *metrics.ContentionCounter
 	waitNanos *metrics.ContentionCounter
+
+	// tracer records EvLockWait/EvLockWake lifecycle events; nil
+	// disables. Events are emitted only on the blocking slow path, never
+	// on the fast path, so the unblocked acquire stays trace-free.
+	tracer *trace.Recorder
+	// waitHist, when set, receives the duration of every blocked
+	// acquire (the engine wires it to its TxnMetrics.LockWait).
+	waitHist *metrics.Histogram
 }
 
 // NewLockTable creates an empty lock manager with DefaultLockStripes
@@ -270,6 +279,22 @@ func (lt *LockTable) SetHooks(h WaitHooks) {
 	lt.unlockAll()
 }
 
+// SetTracer installs the lifecycle-event recorder (nil disables). Not
+// safe to call while transactions are in flight.
+func (lt *LockTable) SetTracer(r *trace.Recorder) {
+	lt.lockAll()
+	lt.tracer = r
+	lt.unlockAll()
+}
+
+// SetWaitHistogram installs the blocked-acquire duration histogram (nil
+// disables). Not safe to call while transactions are in flight.
+func (lt *LockTable) SetWaitHistogram(h *metrics.Histogram) {
+	lt.lockAll()
+	lt.waitHist = h
+	lt.unlockAll()
+}
+
 // notifyWait invokes the OnWait hook. Caller holds the key's stripe
 // mutex (the slow path holds every stripe).
 func (lt *LockTable) notifyWait(tx uint64, key LockKey) {
@@ -377,8 +402,17 @@ func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int,
 	}
 	lt.addQueued(tx, key)
 	lt.notifyWait(tx, key)
+	depth := len(l.queue) - 1 // queue position: waiters ahead of this one
 	lt.unlockAll()
 	lt.waits.Inc(idx)
+	// Trace and histogram work happens only here, on the already-blocked
+	// path — the fast path above stays free of both.
+	if lt.tracer.Enabled() {
+		lt.tracer.Emit(trace.Event{
+			Kind: trace.EvLockWait, Tx: tx,
+			Table: key.Table, Key: key.Key, Depth: depth,
+		})
+	}
 	start := time.Now()
 	var err error
 	if timeout <= 0 {
@@ -392,7 +426,19 @@ func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int,
 			err = lt.withdraw(s, tx, key, w)
 		}
 	}
-	lt.waitNanos.Add(idx, uint64(time.Since(start)))
+	elapsed := time.Since(start)
+	lt.waitNanos.Add(idx, uint64(elapsed))
+	if lt.waitHist != nil {
+		lt.waitHist.Record(elapsed)
+	}
+	if lt.tracer.Enabled() {
+		lt.tracer.Emit(trace.Event{
+			Kind: trace.EvLockWake, Tx: tx,
+			Table: key.Table, Key: key.Key,
+			WaitNS: elapsed.Nanoseconds(),
+			Reason: uint8(core.ClassifyAbort(err)),
+		})
+	}
 	return err
 }
 

@@ -43,9 +43,9 @@ type qop struct {
 	Mode uint8
 }
 
-func (op qop) tx() uint64      { return uint64(op.Tx%quickTxns) + 1 }
-func (op qop) key() LockKey    { return slk(int(op.Key % quickKeys)) }
-func (op qop) mode() LockMode  { return LockMode(op.Mode % 2) }
+func (op qop) tx() uint64     { return uint64(op.Tx%quickTxns) + 1 }
+func (op qop) key() LockKey   { return slk(int(op.Key % quickKeys)) }
+func (op qop) mode() LockMode { return LockMode(op.Mode % 2) }
 func (op qop) describe() string {
 	switch op.Kind % 4 {
 	case 2:

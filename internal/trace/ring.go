@@ -1,0 +1,86 @@
+package trace
+
+import "sync/atomic"
+
+// cell is one slot of the bounded ring. seq is the slot's turn number in
+// the Vyukov MPMC protocol: a slot is writable by the producer holding
+// ticket t when seq == t, and readable by the consumer holding ticket t
+// when seq == t+1.
+type cell struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// ring is a bounded lock-free multi-producer queue (Dmitry Vyukov's
+// MPMC array queue, consume side used single-threaded by Drain). A full
+// ring rejects the enqueue instead of blocking or overwriting — event
+// recording must never stall a transaction's hot path — and the
+// recorder counts the drop.
+type ring struct {
+	mask  uint64
+	cells []cell
+	// head and tail are padded apart so producers and the consumer do
+	// not false-share a cache line.
+	_    [56]byte
+	tail atomic.Uint64 // next ticket to produce
+	_    [56]byte
+	head atomic.Uint64 // next ticket to consume
+}
+
+// newRing creates a ring with capacity cap (rounded up to a power of
+// two, minimum 2).
+func newRing(capacity int) *ring {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	r := &ring{mask: uint64(size - 1), cells: make([]cell, size)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues ev; it reports false when the ring is full.
+func (r *ring) push(ev Event) bool {
+	for {
+		pos := r.tail.Load()
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				c.ev = ev
+				c.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			// The slot still holds an unconsumed event from mask+1
+			// tickets ago: the ring is full.
+			return false
+		}
+		// seq > pos: another producer advanced tail; retry with a fresh
+		// ticket.
+	}
+}
+
+// pop dequeues the oldest event; ok is false when the ring is empty.
+// Drain is the only consumer, but the protocol is safe even if two
+// drains raced.
+func (r *ring) pop() (ev Event, ok bool) {
+	for {
+		pos := r.head.Load()
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				ev = c.ev
+				c.seq.Store(pos + r.mask + 1)
+				return ev, true
+			}
+		case seq < pos+1:
+			return Event{}, false
+		}
+	}
+}

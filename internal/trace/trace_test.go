@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"sicost/internal/core"
+)
+
+func TestRingFIFOAndFull(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.push(Event{TS: int64(i + 1)}) {
+			t.Fatalf("push %d rejected on non-full ring", i)
+		}
+	}
+	if r.push(Event{TS: 99}) {
+		t.Fatal("push accepted on full ring (drop-newest policy broken)")
+	}
+	for i := 0; i < 4; i++ {
+		ev, ok := r.pop()
+		if !ok || ev.TS != int64(i+1) {
+			t.Fatalf("pop %d = (%v, %v), want TS %d", i, ev.TS, ok, i+1)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring returned an event")
+	}
+	// Wrap around: slots must be reusable after consumption.
+	if !r.push(Event{TS: 42}) {
+		t.Fatal("push rejected after drain")
+	}
+	if ev, ok := r.pop(); !ok || ev.TS != 42 {
+		t.Fatalf("wrap-around pop = (%v, %v)", ev.TS, ok)
+	}
+}
+
+func TestRingConcurrentPush(t *testing.T) {
+	r := newRing(1 << 12)
+	const producers, per = 8, 400
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if !r.push(Event{TS: int64(p*per + i + 1)}) {
+					t.Errorf("push rejected below capacity")
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool)
+	for {
+		ev, ok := r.pop()
+		if !ok {
+			break
+		}
+		if seen[ev.TS] {
+			t.Fatalf("duplicate event TS %d", ev.TS)
+		}
+		seen[ev.TS] = true
+	}
+	if len(seen) != producers*per {
+		t.Fatalf("drained %d events, want %d", len(seen), producers*per)
+	}
+}
+
+func TestRecorderDisabledAndNil(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	nilRec.Emit(Event{Kind: EvBegin, Tx: 1}) // must not panic
+	nilRec.SetEnabled(true)                  // must not panic
+	if got := nilRec.Drain(); got != nil {
+		t.Fatalf("nil drain = %v", got)
+	}
+	if nilRec.Dropped() != 0 {
+		t.Fatal("nil dropped != 0")
+	}
+
+	r := New(Options{Disabled: true, Clock: CounterClock()})
+	r.Emit(Event{Kind: EvBegin, Tx: 1})
+	if evs := r.Drain(); len(evs) != 0 {
+		t.Fatalf("disabled recorder captured %d events", len(evs))
+	}
+	r.SetEnabled(true)
+	r.Emit(Event{Kind: EvBegin, Tx: 1})
+	if evs := r.Drain(); len(evs) != 1 {
+		t.Fatalf("enabled recorder captured %d events, want 1", len(evs))
+	}
+}
+
+func TestRecorderDrainOrdersAndStamps(t *testing.T) {
+	r := New(Options{Shards: 4, ShardCap: 16, Clock: CounterClock()})
+	// Different tx ids land in different shards; Drain must merge by TS.
+	for tx := uint64(1); tx <= 6; tx++ {
+		r.Emit(Event{Kind: EvBegin, Tx: tx})
+	}
+	for tx := uint64(1); tx <= 6; tx++ {
+		r.Emit(Event{Kind: EvCommit, Tx: tx, CSN: tx})
+	}
+	evs := r.Drain()
+	if len(evs) != 12 {
+		t.Fatalf("drained %d events, want 12", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events out of TS order at %d: %d after %d", i, evs[i].TS, evs[i-1].TS)
+		}
+	}
+	for i, ev := range evs {
+		if ev.TS != int64(i+1) {
+			t.Fatalf("event %d stamped TS %d, want %d", i, ev.TS, i+1)
+		}
+	}
+	if evs[0].Kind != EvBegin || evs[11].Kind != EvCommit {
+		t.Fatalf("merge order wrong: first=%s last=%s", evs[0].Kind, evs[11].Kind)
+	}
+	// Drain leaves the rings empty.
+	if evs := r.Drain(); len(evs) != 0 {
+		t.Fatalf("second drain returned %d events", len(evs))
+	}
+}
+
+func TestRecorderDropsWhenFull(t *testing.T) {
+	r := New(Options{Shards: 1, ShardCap: 4, Clock: CounterClock()})
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: EvRead, Tx: 1})
+	}
+	if d := r.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	if evs := r.Drain(); len(evs) != 4 {
+		t.Fatalf("kept %d events, want 4 (oldest-first)", len(evs))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{TS: 1, Tx: 7, Kind: EvBegin, CSN: 12},
+		{TS: 2, Tx: 7, Kind: EvSnapshot, CSN: 12},
+		{TS: 3, Tx: 7, Kind: EvRead, Table: "checking", Key: core.Int(42), Depth: 3},
+		{TS: 4, Tx: 7, Kind: EvWrite, Table: "checking", Key: core.Str("alice")},
+		{TS: 5, Tx: 7, Kind: EvSFU, Table: "savings", Key: core.Int(9)},
+		{TS: 6, Tx: 7, Kind: EvLockWait, Table: "checking", Key: core.Int(42), Depth: 2},
+		{TS: 7, Tx: 7, Kind: EvLockWake, Table: "checking", Key: core.Int(42), WaitNS: 1500, Reason: uint8(core.AbortNone)},
+		{TS: 8, Tx: 7, Kind: EvConflict, Table: "checking", Key: core.Int(42), Reason: ConflictFUW},
+		{TS: 9, Tx: 7, Kind: EvAbort, Reason: uint8(core.AbortSerialization)},
+		{TS: 10, Tx: 8, Kind: EvBegin, CSN: 12},
+		{TS: 11, Tx: 8, Kind: EvCommit, CSN: 13},
+		{TS: 12, Tx: 8, Kind: EvWALCommit, Bytes: 96},
+		{TS: 13, Kind: EvWALFlush, Depth: 2, Bytes: 192},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d round trip mismatch:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestJSONLRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{
+		`{"ts":1,"kind":"teleport"}`,
+		`{"ts":1,"tx":1,"kind":"abort","reason":"cosmic-rays"}`,
+		`{"ts":1,"tx":1,"kind":"conflict","reason":"vibes"}`,
+		`{"ts":1,"tx":1,"kind":"read","reason":"fuw"}`,
+		`{not json}`,
+	} {
+		if _, err := ParseJSONL(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseJSONL accepted %s", bad)
+		}
+	}
+}
+
+// validStream is a minimal stream satisfying every invariant.
+func validStream() []Event {
+	return []Event{
+		{TS: 1, Tx: 1, Kind: EvBegin, CSN: 5},
+		{TS: 2, Tx: 1, Kind: EvWrite, Table: "t", Key: core.Int(1)},
+		{TS: 3, Tx: 2, Kind: EvBegin, CSN: 5},
+		{TS: 4, Tx: 2, Kind: EvWrite, Table: "t", Key: core.Int(1)},
+		{TS: 5, Tx: 2, Kind: EvLockWait, Table: "t", Key: core.Int(1), Depth: 0},
+		{TS: 6, Tx: 1, Kind: EvCommit, CSN: 6},
+		{TS: 7, Tx: 2, Kind: EvLockWake, Table: "t", Key: core.Int(1), WaitNS: 100},
+		{TS: 8, Tx: 2, Kind: EvConflict, Table: "t", Key: core.Int(1), Reason: ConflictFUW},
+		{TS: 9, Tx: 2, Kind: EvAbort, Reason: uint8(core.AbortSerialization)},
+		{TS: 10, Kind: EvWALFlush, Depth: 1, Bytes: 64},
+	}
+}
+
+func TestValidateAcceptsValidStream(t *testing.T) {
+	if err := Validate(validStream()); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := map[string][]Event{
+		"commit without begin": {
+			{TS: 1, Tx: 1, Kind: EvCommit, CSN: 2},
+		},
+		"event after terminal": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvCommit, CSN: 2},
+			{TS: 3, Tx: 1, Kind: EvRead, Table: "t", Key: core.Int(1)},
+		},
+		"double begin": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvBegin},
+		},
+		"commit and abort": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvCommit, CSN: 2},
+			{TS: 3, Tx: 1, Kind: EvAbort},
+		},
+		"wake without wait": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvLockWake, Table: "t", Key: core.Int(1)},
+		},
+		"wait never woke": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvLockWait, Table: "t", Key: core.Int(1)},
+		},
+		"abort reason out of taxonomy": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvAbort, Reason: 200},
+		},
+		"conflict cause unknown": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvConflict, Reason: 77},
+		},
+		"tx-scoped event with tx 0": {
+			{TS: 1, Tx: 0, Kind: EvBegin},
+		},
+		"negative wait": {
+			{TS: 1, Tx: 1, Kind: EvBegin},
+			{TS: 2, Tx: 1, Kind: EvLockWake, WaitNS: -1},
+		},
+	}
+	for name, evs := range cases {
+		if err := Validate(evs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// AllowGaps relaxes pairing but not schema checks.
+	gappy := []Event{{TS: 1, Tx: 1, Kind: EvCommit, CSN: 2}}
+	if err := ValidateWith(gappy, ValidateOptions{AllowGaps: true}); err != nil {
+		t.Errorf("AllowGaps still rejected unpaired commit: %v", err)
+	}
+	bad := []Event{{TS: 1, Tx: 1, Kind: EvAbort, Reason: 200}}
+	if err := ValidateWith(bad, ValidateOptions{AllowGaps: true}); err == nil {
+		t.Error("AllowGaps accepted an out-of-taxonomy reason")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(validStream())
+	if s.Events != 10 || s.TxBegun != 2 || s.TxCommitted != 1 || s.TxAborted != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.AbortReasons["serialization"] != 1 {
+		t.Fatalf("abort reasons wrong: %+v", s.AbortReasons)
+	}
+	if s.Conflicts["fuw"] != 1 {
+		t.Fatalf("conflicts wrong: %+v", s.Conflicts)
+	}
+	if str := s.String(); !strings.Contains(str, "serialization=1") || !strings.Contains(str, "begun=2") {
+		t.Fatalf("summary string missing fields: %q", str)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	r := New(Options{Disabled: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(Event{Kind: EvRead, Tx: uint64(i)})
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	r := New(Options{ShardCap: 1 << 10})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		tx := uint64(0)
+		for pb.Next() {
+			tx++
+			r.Emit(Event{Kind: EvRead, Tx: tx, Table: "t", Key: core.Int(int64(tx))})
+			if tx%512 == 0 {
+				// keep the rings from saturating so the benchmark
+				// measures push, not drop
+				b.StopTimer()
+				r.Drain()
+				b.StartTimer()
+			}
+		}
+	})
+}

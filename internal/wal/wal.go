@@ -18,6 +18,7 @@ import (
 
 	"sicost/internal/core"
 	"sicost/internal/faultinject"
+	"sicost/internal/trace"
 )
 
 // Fault-point names of the simulated log device.
@@ -80,6 +81,7 @@ func (s Stats) AvgBatch() float64 {
 type WAL struct {
 	cfg    Config
 	faults *faultinject.Registry
+	tracer *trace.Recorder
 
 	mu      sync.Mutex
 	idle    sync.Cond // broadcast when the flush loop exits
@@ -103,6 +105,10 @@ func New(cfg Config) *WAL {
 // flight.
 func (w *WAL) SetFaults(r *faultinject.Registry) { w.faults = r }
 
+// SetTracer installs the lifecycle-event recorder for EvWALCommit and
+// EvWALFlush (nil disables). Call before commits are in flight.
+func (w *WAL) SetTracer(r *trace.Recorder) { w.tracer = r }
+
 // Commit appends a commit record for txID carrying n payload bytes and
 // blocks until the record is durable (its flush group's device write
 // completed). It returns core.ErrWALClosed if the device shuts down
@@ -110,6 +116,9 @@ func (w *WAL) SetFaults(r *faultinject.Registry) { w.faults = r }
 func (w *WAL) Commit(txID uint64, n int) error {
 	if err := w.faults.Fire(FaultCommit, faultinject.Ctx{Tx: txID}); err != nil {
 		return err
+	}
+	if w.tracer.Enabled() {
+		w.tracer.Emit(trace.Event{Kind: trace.EvWALCommit, Tx: txID, Bytes: n})
 	}
 	if w.cfg.FsyncLatency <= 0 {
 		return nil
@@ -166,10 +175,17 @@ func (w *WAL) flushLoop() {
 		w.mu.Lock()
 		w.stats.Flushes++
 		w.stats.Records += int64(len(batch))
+		batchBytes := 0
 		for _, r := range batch {
 			w.stats.Bytes += int64(r.Bytes)
+			batchBytes += r.Bytes
 		}
 		w.mu.Unlock()
+
+		if w.tracer.Enabled() {
+			// Device-level event: no transaction; Depth is the group size.
+			w.tracer.Emit(trace.Event{Kind: trace.EvWALFlush, Depth: len(batch), Bytes: batchBytes})
+		}
 
 		for _, r := range batch {
 			r.done <- err

@@ -201,6 +201,19 @@ type Result struct {
 	// whole run (ramp included): lock fast-path/wait/deadlock counts,
 	// blocked time, per-stripe wait skew, commit-sequencer waits.
 	Contention engine.ContentionStats
+	// Engine is the engine-side transaction-metrics delta over the whole
+	// run (ramp included): commit count, the abort taxonomy, and the
+	// lock-wait and commit-latency histograms. Commit-latency metering
+	// is switched on for the run's duration by Run itself.
+	Engine metrics.TxnSnapshot
+}
+
+// AbortAttribution is the fraction of the run's engine-side aborts that
+// carry a specific taxonomy reason (1 when there were none). The
+// observability story treats ≥0.95 as healthy; below that, aborts are
+// escaping classification and the taxonomy needs a new class.
+func (r *Result) AbortAttribution() float64 {
+	return r.Engine.Aborts.AttributionRate()
 }
 
 // clientStats is each goroutine's private accumulator.
@@ -230,6 +243,12 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	measureStart := start.Add(cfg.Ramp)
 	deadline := measureStart.Add(cfg.Measure)
 	contBase := db.Contention()
+	// Meter commit latency for the duration of the run (it is off by
+	// default to keep the bare commit path clock-free), and snapshot the
+	// engine metrics so Result.Engine is this run's delta.
+	db.SetMetricsEnabled(true)
+	defer db.SetMetricsEnabled(false)
+	engineBase := db.TxnMetrics()
 
 	var wg sync.WaitGroup
 	stats := make([]*clientStats, cfg.MPL)
@@ -277,6 +296,7 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	res.TPS = float64(res.Commits) / cfg.Measure.Seconds()
 	res.MeanLatency = lat.Mean()
 	res.Contention = db.Contention().Delta(contBase)
+	res.Engine = db.TxnMetrics().Delta(engineBase)
 	return res, nil
 }
 

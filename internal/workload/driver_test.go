@@ -181,6 +181,71 @@ func TestAbortAccountingUnderContention(t *testing.T) {
 	}
 }
 
+// TestEngineMetricsDelta pins the observability contract of Result.Engine:
+// it is a delta over the driver's own run (work done before Run is
+// excluded), the commit-latency histogram is populated because Run
+// switches metering on, and the abort taxonomy attributes essentially
+// every abort — the paper-facing acceptance bar is ≥95% on a hotspot mix.
+func TestEngineMetricsDelta(t *testing.T) {
+	db := loadedDB(t, core.SnapshotFUW, 100)
+
+	// Commit one transaction before the run; the delta must not see it,
+	// and the latency histogram must stay empty while metering is off.
+	tx := db.Begin()
+	if err := smallbank.RunDepositChecking(tx, smallbank.StrategySI, smallbank.Params{N1: smallbank.CustomerName(1), V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	pre := db.TxnMetrics()
+	if pre.CommitLatency.Count != 0 {
+		t.Fatalf("commit latency metered outside Run: %d", pre.CommitLatency.Count)
+	}
+
+	var mix Mix
+	mix[smallbank.TransactSaving] = 0.5
+	mix[smallbank.WriteCheck] = 0.5
+	res, err := Run(db, Config{
+		Strategy: smallbank.StrategySI,
+		MPL:      8, Customers: 100, HotspotSize: 2, HotspotProb: 1.0,
+		Mix:  mix,
+		Ramp: 10 * time.Millisecond, Measure: measure(200 * time.Millisecond), Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.Commits <= 0 {
+		t.Fatal("engine delta saw no commits")
+	}
+	if int64(res.Engine.Commits) < res.Commits {
+		// Engine counts the ramp too, so it can only be >= the measured window.
+		t.Fatalf("engine commits %d < measured commits %d", res.Engine.Commits, res.Commits)
+	}
+	if res.Engine.CommitLatency.Count == 0 {
+		t.Fatal("Run did not enable commit-latency metering")
+	}
+	if res.Engine.Aborts.Total() == 0 {
+		t.Fatal("2-customer hotspot produced no engine-level aborts")
+	}
+	if attr := res.AbortAttribution(); attr < 0.95 {
+		t.Fatalf("abort attribution %.3f below the 95%% bar (vector %v)", attr, res.Engine.Aborts)
+	}
+
+	// Metering is switched back off when Run returns.
+	after := db.TxnMetrics()
+	tx2 := db.Begin()
+	if err := smallbank.RunDepositChecking(tx2, smallbank.StrategySI, smallbank.Params{N1: smallbank.CustomerName(2), V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.TxnMetrics().CommitLatency.Count; got != after.CommitLatency.Count {
+		t.Fatalf("commit latency still metered after Run: %d -> %d", after.CommitLatency.Count, got)
+	}
+}
+
 // TestDriverSerializableUnderStrategy runs a full concurrent workload
 // with the checker attached: a repair strategy must yield an acyclic
 // MVSG even on a pathological hotspot.
