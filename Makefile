@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos docs trace-smoke ci
+.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos crash walfuzz docs trace-smoke ci
 
 all: build test
 
@@ -47,6 +47,19 @@ chaos:
 		-mpl 8 -ramp 100ms -measure 500ms -retry backoff -seed 7 > /dev/null
 	$(GO) test -short -count=1 -run 'TestChaos|TestInjected|TestFaulted' ./internal/workload ./internal/detsim
 
+# Crash/recover chaos: rotate a panic fault through the commit path
+# (including mid-WAL-flush), recover from the surviving log image after
+# every crash and audit the durability contract — acked state survives,
+# unacked state vanishes, money is conserved, recovery is idempotent.
+crash:
+	$(GO) run ./cmd/smallbank -crash -crash-cycles 10 -mode 2pl -seed 7 > /dev/null
+	$(GO) test -race -count=1 -run TestCrashChaos ./internal/workload
+
+# Fuzz the recovery pipeline: arbitrary bytes through the frame decoder
+# and the full engine rebuild; neither may panic.
+walfuzz:
+	$(GO) test -fuzz FuzzRecoverLog -fuzztime 10s ./internal/wal
+
 # Documentation gate: vet plus the package-doc lint (every package must
 # open with a conventional godoc comment; see cmd/doclint).
 docs: vet
@@ -66,9 +79,10 @@ trace-smoke:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkCommitParallel' -benchtime 1s -benchmem ./internal/engine | tee bench_latest.txt
 	$(GO) test -run XXX -bench 'BenchmarkCommitTraced' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_traced.txt
+	$(GO) test -run XXX -bench 'BenchmarkCommitDurable' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_durable.txt
 	$(GO) run ./cmd/benchjson -o BENCH_engine.json \
-		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled)." \
-		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt
-	rm -f bench_latest.txt bench_traced.txt
+		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled). The durable set prices the WAL: latency-only (no device) vs in-memory device (encoding + CRC32C framing) vs real log file (OS write per flushed batch)." \
+		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt durable=bench_durable.txt
+	rm -f bench_latest.txt bench_traced.txt bench_durable.txt
 
-ci: build docs test race stress fuzzsmoke chaos trace-smoke
+ci: build docs test race stress fuzzsmoke chaos crash walfuzz trace-smoke

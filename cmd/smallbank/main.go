@@ -11,6 +11,8 @@
 //	smallbank -strategy SI -check          # attach the MVSG checker
 //	smallbank -strategies                  # list strategies
 //	smallbank -chaos -mode 2pl -check      # fault-injected run + invariant audit
+//	smallbank -crash -crash-cycles 20      # crash/recover chaos + durability audit
+//	smallbank -wal run.wal                 # durable log file (resumes if non-empty)
 //	smallbank -retry backoff -retry-base 200us -retry-cap 20ms
 //	smallbank -trace run.jsonl             # dump the lifecycle event trace
 //	smallbank -pprof localhost:6060        # serve pprof/expvar while running
@@ -32,6 +34,7 @@ import (
 	"sicost/internal/faultinject"
 	"sicost/internal/smallbank"
 	"sicost/internal/trace"
+	"sicost/internal/wal"
 	"sicost/internal/workload"
 )
 
@@ -52,6 +55,9 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		check        = flag.Bool("check", false, "attach the MVSG serializability checker")
 		chaos        = flag.Bool("chaos", false, "arm the default fault plan and audit the standing invariants")
+		crash        = flag.Bool("crash", false, "run the crash/recover chaos harness and audit the durability contract")
+		crashCycles  = flag.Int("crash-cycles", 20, "crash/recover cycles for -crash")
+		walPath      = flag.String("wal", "", "durable log file; a non-empty file is recovered instead of loaded")
 		lockTimeout  = flag.Duration("locktimeout", 0, "per-transaction lock-wait timeout (0 = wait forever)")
 		retryKind    = flag.String("retry", "immediate", "retry policy: immediate or backoff")
 		retries      = flag.Int("retries", 50, "max retries per interaction")
@@ -108,6 +114,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %s is NOT sound on %s (§II-C)\n", strategy.Name, engCfg.Platform)
 	}
 
+	if *crash {
+		runCrashChaos(engCfg.Mode, engCfg.Platform, *crashCycles, *seed)
+		return
+	}
+
 	var policy workload.RetryPolicy
 	switch *retryKind {
 	case "immediate":
@@ -140,17 +151,57 @@ func main() {
 	// Load on free hardware, then install the measured profile.
 	measured := engCfg.Res
 	engCfg.Res.VirtualCPUs = 0
-	db := engine.Open(engCfg)
+
+	var dev *wal.FileDevice
+	if *walPath != "" {
+		dev, err = wal.OpenFileDevice(*walPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
+		defer dev.Close()
+		engCfg.WAL.Device = dev
+	}
+
+	var db *engine.DB
+	if dev != nil && dev.Size() > 0 {
+		// The file already holds a database image: rebuild it instead of
+		// loading. The customer population is whatever the original run
+		// loaded, so derive -customers from the recovered Account table.
+		var rep *engine.RecoveryReport
+		db, rep, err = engine.Recover(dev, engCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank: recover:", err)
+			os.Exit(1)
+		}
+		accounts := 0
+		if err := db.ScanLatest(smallbank.TableAccount, func(core.Value, core.Record) bool {
+			accounts++
+			return true
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
+		*customers = accounts
+		if *hotspot > *customers {
+			*hotspot = *customers
+		}
+		fmt.Fprintf(os.Stderr,
+			"recovered %s: %d checkpoint rows, %d commits replayed, %d torn bytes truncated, CSN %d, %d customers\n",
+			*walPath, rep.CheckpointRows, rep.ReplayedCommits, rep.Log.TornBytes, rep.HighCSN, *customers)
+	} else {
+		db = engine.Open(engCfg)
+		if err := smallbank.CreateSchema(db); err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loading %d customers...\n", *customers)
+		if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: *customers, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
+	}
 	defer db.Close()
-	if err := smallbank.CreateSchema(db); err != nil {
-		fmt.Fprintln(os.Stderr, "smallbank:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "loading %d customers...\n", *customers)
-	if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: *customers, Seed: *seed}); err != nil {
-		fmt.Fprintln(os.Stderr, "smallbank:", err)
-		os.Exit(1)
-	}
 	db.SetResources(measured)
 
 	if *pprofAddr != "" {
@@ -238,6 +289,16 @@ func main() {
 	ws := db.WAL().Stats()
 	fmt.Printf("WAL: %d flushes, %d records (avg batch %.1f), %d bytes\n",
 		ws.Flushes, ws.Records, ws.AvgBatch(), ws.Bytes)
+	if dev != nil {
+		// Bound the log file so the next -wal run recovers from a compact
+		// checkpoint instead of replaying this whole run.
+		csn, err := db.Checkpoint()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank: checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint: CSN %d written to %s (%d bytes)\n", csn, *walPath, dev.Size())
+	}
 
 	lc := res.Contention.Lock
 	maxStripe, maxWaits := 0, uint64(0)
@@ -311,6 +372,43 @@ func main() {
 		}
 		fmt.Println("invariants: all held")
 	}
+}
+
+// runCrashChaos drives the crash/recover harness and prints the
+// per-cycle durability audit. Exits non-zero if any cycle violates the
+// durability contract.
+func runCrashChaos(mode core.CCMode, platform core.Platform, cycles int, seed int64) {
+	fmt.Fprintf(os.Stderr, "crash chaos: %d crash/recover cycles, mode %s, seed %d...\n", cycles, mode, seed)
+	rep, err := workload.RunCrashChaos(workload.CrashChaosConfig{
+		Mode: mode, Platform: platform, Cycles: cycles, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smallbank:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%5s %-22s %6s %8s %8s %6s %8s %8s %5s\n",
+		"cycle", "crash point", "fired", "commits", "aborts", "torn", "replayed", "highCSN", "ckpt")
+	for _, c := range rep.Cycles {
+		ckpt := ""
+		if c.Checkpointed {
+			ckpt = "yes"
+		}
+		fmt.Printf("%5d %-22s %6d %8d %8d %6d %8d %8d %5s\n",
+			c.Cycle, c.Point, c.Fired, c.Commits, c.Aborts,
+			c.TornBytes, c.ReplayedCommits, c.HighCSN, ckpt)
+	}
+	fmt.Printf("\ncrashes fired: %d/%d cycles\n", rep.CrashesFired(), len(rep.Cycles))
+	fmt.Printf("conservation: initial %d %+d committed = %d final\n",
+		rep.InitialTotal, rep.Ledger, rep.FinalTotal)
+	fmt.Printf("post-chaos resume: %d commits\n", rep.ResumeCommits)
+	if !rep.OK() {
+		fmt.Println("\nDURABILITY VIOLATIONS:")
+		for _, v := range rep.Violations {
+			fmt.Println("  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("durability contract: held across all cycles")
 }
 
 // writeTrace drains the recorder, sanity-checks the stream against the

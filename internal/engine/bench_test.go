@@ -3,11 +3,13 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"testing"
 
 	"sicost/internal/core"
+	"sicost/internal/wal"
 )
 
 // benchDB builds a DB for benchmarking: no simulated costs, table T
@@ -168,6 +170,67 @@ func BenchmarkCommitParallelHot(b *testing.B) {
 			})
 			b.StopTimer()
 			b.ReportMetric(float64(aborts.Load())/float64(b.N), "aborts/op")
+		})
+	}
+}
+
+// BenchmarkCommitDurable prices durability on the serial commit cycle
+// (begin, read, update, commit). latency-only is the pre-durability
+// WAL: the flush loop simulates group-commit latency but persists
+// nothing. mem adds the record encoding and CRC32C framing into an
+// in-memory device, so mem-latency is the pure codec cost. file adds
+// the OS write of each flushed batch to a real log file.
+func BenchmarkCommitDurable(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		dev  func(b *testing.B) wal.LogDevice
+	}{
+		{"latency-only", func(b *testing.B) wal.LogDevice { return nil }},
+		{"mem", func(b *testing.B) wal.LogDevice { return wal.NewMemDevice() }},
+		{"file", func(b *testing.B) wal.LogDevice {
+			dev, err := wal.OpenFileDevice(filepath.Join(b.TempDir(), "bench.wal"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { dev.Close() })
+			return dev
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			const rows = 1024
+			db := Open(Config{
+				Mode: core.SnapshotFUW, Platform: core.PlatformPostgres,
+				WAL: wal.Config{Device: v.dev(b)},
+			})
+			b.Cleanup(db.Close)
+			if err := db.CreateTable(kvSchema("T")); err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin()
+			for k := int64(0); k < rows; k++ {
+				if err := tx.Insert("T", kv(k, k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := int64(i) % rows
+				tx := db.Begin()
+				if _, err := tx.Get("T", core.Int(k)); err != nil {
+					b.Fatal(err)
+				}
+				wk := (k + 1) % rows
+				if err := tx.Update("T", core.Int(wk), kv(wk, int64(i))); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

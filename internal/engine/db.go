@@ -155,6 +155,14 @@ type DB struct {
 	seqWaiters map[uint64]chan struct{} // csn → its committer's wait channel
 	nextCSN    uint64                   // last allocated CSN; guarded by seqMu
 	visibleCSN atomic.Uint64
+	// ckptMu is the checkpoint barrier: every updating commit holds the
+	// read side across its allocCSN→publishCSN window (WAL append
+	// included), so Checkpoint's write side opens only when no commit is
+	// between allocation and publication. At that instant every
+	// allocated CSN is published and every published CSN is durable,
+	// which is what lets the checkpoint rewrite (truncate) the log
+	// without losing redo work.
+	ckptMu sync.RWMutex
 	// seqWaits counts commits that had to wait in publishCSN for an
 	// earlier CSN to publish (commit-sequencer contention).
 	seqWaits atomic.Uint64
@@ -280,10 +288,37 @@ func (db *DB) LockAudit() (held, queued int) { return db.locks.Outstanding() }
 // with (nil when fault injection is disabled).
 func (db *DB) Faults() *faultinject.Registry { return db.faults }
 
-// CreateTable declares a table.
+// CreateTable declares a table. With a durable log attached the schema
+// is appended as a DDL frame, so a log that has never been checkpointed
+// still rebuilds its table definitions on recovery.
 func (db *DB) CreateTable(schema *core.Schema) error {
-	_, err := db.store.CreateTable(schema)
-	return err
+	if _, err := db.store.CreateTable(schema); err != nil {
+		return err
+	}
+	return db.log.AppendSchema(schema)
+}
+
+// Checkpoint serializes a consistent snapshot of the database at the
+// current commit high-water mark and truncates the log to it, bounding
+// recovery's replay cost. It requires a durable log device. The
+// snapshot is point-in-time consistent: it is taken under the commit
+// barrier (see ckptMu), so it contains exactly the commits with
+// csn <= cut and the rewritten log loses no redo work. Returns the cut.
+func (db *DB) Checkpoint() (uint64, error) {
+	if !db.log.Persistent() {
+		return 0, core.ErrWALClosed
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	cut := db.visibleCSN.Load()
+	ckpt, err := (&wal.Checkpointer{Log: db.log}).Run(db.store, cut)
+	if err != nil {
+		return 0, err
+	}
+	if db.tracer.Enabled() {
+		db.tracer.Emit(trace.Event{Kind: trace.EvCheckpoint, CSN: cut, Bytes: len(wal.EncodeCheckpoint(ckpt))})
+	}
+	return cut, nil
 }
 
 // Mode returns the configured concurrency-control mode.

@@ -8,6 +8,7 @@ import (
 	"sicost/internal/faultinject"
 	"sicost/internal/storage"
 	"sicost/internal/trace"
+	"sicost/internal/wal"
 )
 
 // logBytesPerWrite approximates the WAL payload of one row update (tuple
@@ -473,6 +474,21 @@ func (tx *Tx) ReadForUpdate(table string, key core.Value) (core.Record, error) {
 // on the commercial platform, no select-for-updates).
 func (tx *Tx) ReadOnly() bool { return len(tx.writes) == 0 && len(tx.sfus) == 0 }
 
+// rowImages collects the final after-image of every row this
+// transaction wrote, for the durable commit record. tx.writes holds one
+// entry per distinct row (repeat writes go through Row.UpdateOwn and
+// mutate the existing version in place), so w.ver.Rec is already the
+// final image; a nil Rec is a delete tombstone. The images are read
+// while the rows are still X-locked by this transaction and are never
+// mutated after commit, so no copies are needed.
+func (tx *Tx) rowImages() []wal.RowImage {
+	rows := make([]wal.RowImage, 0, len(tx.writes))
+	for _, w := range tx.writes {
+		rows = append(rows, wal.RowImage{Table: w.table.Name(), Key: w.key, Rec: w.ver.Rec})
+	}
+	return rows
+}
+
 // Commit finishes the transaction. For updating transactions it waits
 // for the simulated WAL (group commit), assigns the commit sequence
 // number, stamps versions and releases locks. Read-only transactions
@@ -510,25 +526,12 @@ func (tx *Tx) Commit() error {
 		commitStart = time.Now()
 	}
 
-	if updating {
-		// Commit-time CPU of an updating transaction (log-record and
-		// redo construction), charged before the device wait.
-		tx.db.machine.UseCPU(tx.db.machine.Config().UpdaterCommitCPU)
-		// WAL: the commit record must be durable before the commit is
-		// visible. Group commit amortizes this wait across concurrent
-		// committers. Locks are still held, so a blocked FUW writer
-		// waits through our fsync — exactly the PostgreSQL behaviour.
-		if err := tx.db.log.Commit(tx.id, logBytesPerWrite*(len(tx.writes)+len(tx.sfus))); err != nil {
-			tx.abortCause = err
-			tx.Abort()
-			return err
-		}
-	}
-
-	if tx.ssi != nil {
+	if !updating && tx.ssi != nil {
 		// Enter the committing state: from here this transaction cannot
 		// be picked as an SSI abort victim, and a doom that raced the
-		// check above is caught now.
+		// check above is caught now. Updating commits do this below,
+		// after their WAL wait, preserving the window in which a
+		// committer stalled on the device can still be doomed.
 		if err := tx.db.ssi.precommit(tx); err != nil {
 			tx.traceConflict(trace.ConflictSSI, "", core.Value{})
 			tx.abortCause = err
@@ -546,9 +549,13 @@ func (tx *Tx) Commit() error {
 	}
 
 	if updating {
+		// Commit-time CPU of an updating transaction (log-record and
+		// redo construction), charged before the device wait.
+		tx.db.machine.UseCPU(tx.db.machine.Config().UpdaterCommitCPU)
 		// The stamp fault fires before the CSN exists: the last point
 		// where this commit can abort cleanly — versions unlinked,
-		// index entries removed, locks released, waiters woken.
+		// index entries removed, locks released, waiters woken —
+		// without touching the sequencer.
 		if tx.db.faults != nil {
 			if err := tx.db.faults.Fire(FaultCommitStamp, faultinject.Ctx{Tx: tx.id}); err != nil {
 				tx.abortCause = err
@@ -557,11 +564,66 @@ func (tx *Tx) Commit() error {
 			}
 		}
 		// Commit sequencing is two short critical sections around a
-		// lock-free stamping phase: allocate the CSN, stamp versions and
-		// index entries (safe without a global lock — every stamped row
-		// is X-locked by this transaction, and new snapshots cannot see
-		// the CSN until it is published), then publish in CSN order.
+		// lock-free middle: allocate the CSN; make the commit record
+		// durable and stamp versions and index entries (safe without a
+		// global lock — every stamped row is X-locked by this
+		// transaction, and new snapshots cannot see the CSN until it is
+		// published); then publish in CSN order. The whole window runs
+		// under the checkpoint barrier's read side, so a checkpoint
+		// never cuts between a durable commit and its publication.
+		//
+		// WAL before visibility: the commit record — carrying the CSN
+		// and the row after-images — must be durable before the commit
+		// publishes. The reverse order would let a later durable commit
+		// embed effects of this one while this one is lost in a crash.
+		// Group commit amortizes the device wait across concurrent
+		// committers; locks are held through it, so a blocked FUW
+		// writer waits through our fsync — exactly the PostgreSQL
+		// behaviour.
+		tx.db.ckptMu.RLock()
 		csn := tx.db.allocCSN()
+		rec := &wal.Record{
+			TxID:  tx.id,
+			CSN:   csn,
+			Bytes: logBytesPerWrite * (len(tx.writes) + len(tx.sfus)),
+		}
+		if tx.db.log.Persistent() {
+			rec.Rows = tx.rowImages()
+		}
+		err := func() (err error) {
+			// wal.FaultCommit may be armed with ActPanic (a session
+			// crash). The panic must not unwind with the empty CSN slot
+			// unpublished and the checkpoint barrier read-held — that
+			// would wedge every later committer — so release both before
+			// letting it continue to the caller's recover.
+			defer func() {
+				if r := recover(); r != nil {
+					tx.db.publishCSN(csn)
+					tx.db.ckptMu.RUnlock()
+					panic(r)
+				}
+			}()
+			if err := tx.db.log.Commit(rec); err != nil {
+				return err
+			}
+			if tx.ssi != nil {
+				if err := tx.db.ssi.precommit(tx); err != nil {
+					tx.traceConflict(trace.ConflictSSI, "", core.Value{})
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			// The CSN is allocated but nothing carries it: publish the
+			// empty slot so successors do not wait forever, then roll
+			// back (versions are still unstamped, so Abort unlinks them).
+			tx.db.publishCSN(csn)
+			tx.db.ckptMu.RUnlock()
+			tx.abortCause = err
+			tx.Abort()
+			return err
+		}
 		for _, w := range tx.writes {
 			w.ver.MarkCommitted(csn)
 			info.Writes = append(info.Writes, VersionRef{Table: w.table.Name(), Key: w.key, CSN: csn})
@@ -580,6 +642,7 @@ func (tx *Tx) Commit() error {
 			info.SFU = append(info.SFU, VersionRef{Table: s.table.Name(), Key: s.key, CSN: csn})
 		}
 		tx.db.publishCSN(csn)
+		tx.db.ckptMu.RUnlock()
 		// Delay-only: the commit is published; a stall here holds row
 		// locks across an already-visible commit.
 		tx.db.faults.FireDelayOnly(FaultCSNPublish, faultinject.Ctx{Tx: tx.id})

@@ -84,6 +84,14 @@ const (
 	// is zero; Depth is the number of commit records acknowledged and
 	// Bytes their total payload.
 	EvWALFlush
+	// EvCheckpoint: the engine wrote a checkpoint frame, truncating the
+	// log. Tx is zero; CSN is the snapshot cut and Bytes the encoded
+	// frame size.
+	EvCheckpoint
+	// EvRecovery: a database was rebuilt from a log device. Tx is zero;
+	// CSN is the recovered high-water mark, Depth the number of commit
+	// frames replayed and Bytes the valid log prefix length.
+	EvRecovery
 
 	numKinds
 )
@@ -93,7 +101,7 @@ const (
 var kindNames = [numKinds]string{
 	"begin", "snapshot", "read", "write", "sfu",
 	"lock-wait", "lock-wake", "conflict", "abort", "commit",
-	"wal-commit", "wal-flush",
+	"wal-commit", "wal-flush", "checkpoint", "recovery",
 }
 
 // String returns the wire name of the kind.

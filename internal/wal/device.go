@@ -1,0 +1,150 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// LogDevice is the pluggable durable medium behind the WAL. The paper's
+// testbed puts the log on a dedicated disk with the write cache
+// disabled; here the device is either an in-memory byte log (tests and
+// the crash-chaos harness, which simulates process death and torn
+// writes) or a real file (cmd/smallbank -wal).
+//
+// A device carries no framing knowledge: it stores the byte stream the
+// WAL appends. A crash may leave the final append incomplete — the
+// recovery decoder's torn-tail rule handles that.
+type LogDevice interface {
+	// Append adds b to the end of the log. The write is durable when
+	// Append returns; a crash mid-call may persist any prefix of b.
+	Append(b []byte) error
+	// Contents returns the entire log. The returned slice must not be
+	// mutated by the caller.
+	Contents() ([]byte, error)
+	// Rewrite atomically replaces the whole log with b. Checkpoint
+	// truncation and torn-tail repair use it.
+	Rewrite(b []byte) error
+	// Size returns the current log length in bytes.
+	Size() int64
+}
+
+// MemDevice is an in-memory LogDevice for tests and the crash-chaos
+// harness. It is safe for concurrent use.
+type MemDevice struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewMemDevice returns an empty in-memory log device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// NewMemDeviceBytes returns an in-memory device pre-loaded with b (a
+// captured log image, e.g. the fuzz target's corpus input).
+func NewMemDeviceBytes(b []byte) *MemDevice {
+	return &MemDevice{buf: append([]byte(nil), b...)}
+}
+
+// Append implements LogDevice.
+func (d *MemDevice) Append(b []byte) error {
+	d.mu.Lock()
+	d.buf = append(d.buf, b...)
+	d.mu.Unlock()
+	return nil
+}
+
+// Contents implements LogDevice.
+func (d *MemDevice) Contents() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.buf...), nil
+}
+
+// Rewrite implements LogDevice.
+func (d *MemDevice) Rewrite(b []byte) error {
+	d.mu.Lock()
+	d.buf = append(d.buf[:0:0], b...)
+	d.mu.Unlock()
+	return nil
+}
+
+// Size implements LogDevice.
+func (d *MemDevice) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.buf))
+}
+
+// FileDevice is a LogDevice backed by one append-only file, synced on
+// every append — the "write cache disabled" discipline of the paper's
+// log disk. cmd/smallbank -wal uses it.
+type FileDevice struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// OpenFileDevice opens (creating if absent) the log file at path.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileDevice{f: f, size: st.Size()}, nil
+}
+
+// Append implements LogDevice: write at the tail, then fsync.
+func (d *FileDevice) Append(b []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.f.WriteAt(b, d.size)
+	d.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: file append: %w", err)
+	}
+	return d.f.Sync()
+}
+
+// Contents implements LogDevice.
+func (d *FileDevice) Contents() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	buf := make([]byte, d.size)
+	if _, err := d.f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("wal: file read: %w", err)
+	}
+	return buf, nil
+}
+
+// Rewrite implements LogDevice: truncate and write the new image.
+func (d *FileDevice) Rewrite(b []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: file truncate: %w", err)
+	}
+	if _, err := d.f.WriteAt(b, 0); err != nil {
+		return fmt.Errorf("wal: file rewrite: %w", err)
+	}
+	d.size = int64(len(b))
+	return d.f.Sync()
+}
+
+// Size implements LogDevice.
+func (d *FileDevice) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// Close releases the underlying file.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

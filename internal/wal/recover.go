@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"sicost/internal/core"
+)
+
+// RecoveryInfo is the classified result of scanning a log device: the
+// snapshot to start from, the redo work after it, and what the scan
+// discarded.
+type RecoveryInfo struct {
+	// Checkpoint is the last checkpoint frame in the valid prefix, or
+	// nil when the log has never been checkpointed.
+	Checkpoint *Checkpoint
+	// Schemas are the table definitions in effect: every schema frame
+	// in the valid prefix, deduplicated by table name (last wins),
+	// merged with the schemas embedded in the checkpoint.
+	Schemas []core.Schema
+	// Commits are the redo records to replay: every commit frame whose
+	// CSN is beyond the checkpoint, sorted by CSN. The commit-barrier
+	// checkpoint protocol (see engine.DB.Checkpoint) guarantees no
+	// commit before the checkpoint frame carries a CSN above the cut,
+	// so CSN filtering and log-position filtering agree.
+	Commits []*CommitFrame
+	// HighCSN is the recovered commit-sequence high-water mark; the
+	// restarted sequencer continues from HighCSN+1.
+	HighCSN uint64
+	// Frames counts all valid frames scanned (checkpoint + schema +
+	// commit, including pre-checkpoint commits in an untruncated log).
+	Frames int
+	// ValidBytes is the length of the valid prefix; TornBytes is what
+	// the torn-tail rule discarded (0 for a clean log).
+	ValidBytes int
+	TornBytes  int
+	// Repaired reports that the device was rewritten to the valid
+	// prefix, so a second recovery sees a clean log.
+	Repaired bool
+}
+
+// Recover scans dev, applies the torn-tail rule, and — when a torn or
+// corrupt tail was found — repairs the device by rewriting it to the
+// valid prefix, so recovery is idempotent at the byte level too. It
+// performs no database reconstruction; engine.Recover layers that on
+// top.
+func Recover(dev LogDevice) (*RecoveryInfo, error) {
+	b, err := dev.Contents()
+	if err != nil {
+		return nil, fmt.Errorf("wal: recover: %w", err)
+	}
+	info := Classify(b)
+	if info.TornBytes > 0 {
+		if err := dev.Rewrite(b[:info.ValidBytes]); err != nil {
+			return nil, fmt.Errorf("wal: recover: torn-tail repair: %w", err)
+		}
+		info.Repaired = true
+	}
+	return info, nil
+}
+
+// Classify scans a raw log image and organizes its valid prefix into a
+// RecoveryInfo without touching any device. The fuzz target calls it
+// directly with arbitrary bytes.
+func Classify(b []byte) *RecoveryInfo {
+	frames, validLen := ScanLog(b)
+	info := &RecoveryInfo{
+		Frames:     len(frames),
+		ValidBytes: validLen,
+		TornBytes:  len(b) - validLen,
+	}
+
+	// The snapshot to restore is the *last* checkpoint in the log.
+	for _, f := range frames {
+		if f.Checkpoint != nil {
+			info.Checkpoint = f.Checkpoint
+		}
+	}
+	cut := uint64(0)
+	if info.Checkpoint != nil {
+		cut = info.Checkpoint.CSN
+		info.HighCSN = cut
+	}
+
+	// Schemas: checkpoint-embedded first, then standalone schema
+	// frames; last definition of a name wins.
+	byName := map[string]int{}
+	addSchema := func(s core.Schema) {
+		if i, ok := byName[s.Name]; ok {
+			info.Schemas[i] = s
+			return
+		}
+		byName[s.Name] = len(info.Schemas)
+		info.Schemas = append(info.Schemas, s)
+	}
+	if info.Checkpoint != nil {
+		for _, t := range info.Checkpoint.Tables {
+			addSchema(t.Schema)
+		}
+	}
+	for _, f := range frames {
+		if f.Schema != nil {
+			addSchema(*f.Schema)
+		}
+	}
+
+	for _, f := range frames {
+		if f.Commit == nil {
+			continue
+		}
+		if f.Commit.CSN <= cut {
+			continue // already captured by the checkpoint snapshot
+		}
+		info.Commits = append(info.Commits, f.Commit)
+		if f.Commit.CSN > info.HighCSN {
+			info.HighCSN = f.Commit.CSN
+		}
+	}
+	if info.Checkpoint != nil {
+		for _, t := range info.Checkpoint.Tables {
+			for _, r := range t.Rows {
+				if r.CSN > info.HighCSN {
+					info.HighCSN = r.CSN
+				}
+			}
+		}
+	}
+	sort.SliceStable(info.Commits, func(i, j int) bool {
+		return info.Commits[i].CSN < info.Commits[j].CSN
+	})
+	return info
+}

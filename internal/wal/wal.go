@@ -1,18 +1,25 @@
-// Package wal simulates the write-ahead log device of the paper's testbed:
-// a dedicated log disk with the write cache disabled, so every commit of
-// an updating transaction must wait for a real device write — amortized
-// across concurrent committers by group commit (the paper configures
-// commit-delay to exploit exactly this).
+// Package wal implements the write-ahead log of the engine, modelled on
+// the paper's testbed: a dedicated log disk with the write cache
+// disabled, so every commit of an updating transaction must wait for a
+// real device write — amortized across concurrent committers by group
+// commit (the paper configures commit-delay to exploit exactly this).
 //
-// The device is simulated: a flush occupies the log device for a
-// configurable latency and durably acknowledges every commit record that
-// joined the group. Read-only transactions never touch the log, which is
-// the mechanism behind the paper's §IV-D observation that strategies
-// turning the read-only Balance program into an updater pay ~20% at
-// MPL=1 (5/5 instead of 4/5 of transactions must wait for the disk).
+// The log is layered. The latency of the device is simulated
+// (Config.FsyncLatency), which is all the throughput experiments need;
+// durability is real when a LogDevice is attached (Config.Device): the
+// flush loop encodes each commit record — row after-images plus CSN —
+// into CRC32-framed binary frames (codec.go) and appends the batch to
+// the device in one write. Checkpoint and schema frames share the same
+// framing, and Recover (recover.go) classifies a device image back into
+// snapshot + redo work with torn-tail truncation. Read-only
+// transactions never touch the log, which is the mechanism behind the
+// paper's §IV-D observation that strategies turning the read-only
+// Balance program into an updater pay ~20% at MPL=1 (5/5 instead of 4/5
+// of transactions must wait for the disk).
 package wal
 
 import (
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -21,28 +28,37 @@ import (
 	"sicost/internal/trace"
 )
 
-// Fault-point names of the simulated log device.
+// Fault-point names of the log device.
 const (
 	// FaultCommit fires at the head of Commit, before the record is
 	// enqueued (a connection to the log that dies before the write).
-	// It fires even when the simulated device is disabled, so chaos
-	// runs against latency-free test configurations still exercise
-	// commit-path failures.
+	// It fires even when the device is disabled, so chaos runs against
+	// latency-free test configurations still exercise commit-path
+	// failures.
 	FaultCommit = "wal/commit"
-	// FaultFlush fires once per device write; an injected error fails
-	// every commit record in that flush group. It generalizes the
-	// one-off InjectFailure hook.
+	// FaultFlush fires once per device write, before any byte reaches
+	// the device; an injected error fails every commit record in that
+	// flush group without persisting it. An ActPanic spec here models
+	// the process dying mid-flush: the WAL recovers the panic, appends
+	// a torn prefix of the batch (a strict prefix of its first frame,
+	// so nothing unacknowledged becomes durable), and bricks itself —
+	// every later commit fails until recovery rebuilds the engine.
 	FaultFlush = "wal/flush"
 )
 
-// Config parameterizes the simulated log device.
+// Config parameterizes the log device.
 type Config struct {
-	// FsyncLatency is the time one device write takes. Zero disables the
-	// log entirely (commits return immediately), which unit tests use.
+	// FsyncLatency is the time one device write takes. With no Device
+	// attached, zero disables the log entirely (commits return
+	// immediately), which unit tests use.
 	FsyncLatency time.Duration
 	// MaxBatch caps the number of commit records acknowledged by a single
 	// flush; 0 means unbounded (pure group commit).
 	MaxBatch int
+	// Device, when non-nil, is the durable medium: every flush encodes
+	// its batch and appends the frames to the device before
+	// acknowledging. Nil keeps the historical latency-only simulation.
+	Device LogDevice
 }
 
 // Scaled returns the config with FsyncLatency multiplied by f.
@@ -51,24 +67,44 @@ func (c Config) Scaled(f float64) Config {
 	return c
 }
 
-// Record is one commit log record. Only bookkeeping fields are kept; the
-// engine does not need the row images for the simulation, but their size
-// is accounted to make the stats meaningful.
+// Record is one commit log record: the transaction's identity, its
+// commit sequence number, and the after-image of every row it wrote.
+// With a device attached the record is encoded and persisted; without
+// one only Bytes is accounted, preserving the latency-only simulation.
 type Record struct {
-	TxID  uint64
+	TxID uint64
+	CSN  uint64
+	// Rows are the committed after-images (nil Rec = tombstone),
+	// in-transaction write order.
+	Rows []RowImage
+	// Bytes is the accounted payload size. Callers may pre-fill an
+	// estimate for latency-only mode; with a device attached Commit
+	// overwrites it with the real encoded frame size.
 	Bytes int
-	done  chan error
+
+	enc  []byte
+	done chan error
 }
 
-// Stats aggregates device activity; used by tests and by the group-commit
-// ablation experiment.
+// Stats aggregates device activity; used by tests and by the
+// group-commit ablation experiment. Only successful flushes count
+// toward Flushes/Records/Bytes; flushes that failed (injected error,
+// injected crash, or device error) count in FailedFlushes and
+// contribute nothing else.
 type Stats struct {
 	Flushes int64
 	Records int64
 	Bytes   int64
+	// FailedFlushes counts device writes that failed; their batches
+	// were rejected, not acknowledged.
+	FailedFlushes int64
+	// Checkpoints counts checkpoint frames written (each rewrites the
+	// device to checkpoint + empty tail).
+	Checkpoints int64
 }
 
-// AvgBatch returns the mean number of commit records per device write.
+// AvgBatch returns the mean number of commit records per successful
+// device write.
 func (s Stats) AvgBatch() float64 {
 	if s.Flushes == 0 {
 		return 0
@@ -76,12 +112,15 @@ func (s Stats) AvgBatch() float64 {
 	return float64(s.Records) / float64(s.Flushes)
 }
 
-// WAL is the simulated group-commit log. The zero value is not usable;
-// call New.
+// WAL is the group-commit log. The zero value is not usable; call New.
 type WAL struct {
 	cfg    Config
 	faults *faultinject.Registry
 	tracer *trace.Recorder
+
+	// devMu serializes all device operations (flush appends, checkpoint
+	// rewrites, schema appends) so frames never interleave mid-write.
+	devMu sync.Mutex
 
 	mu      sync.Mutex
 	idle    sync.Cond // broadcast when the flush loop exits
@@ -89,11 +128,12 @@ type WAL struct {
 	flusher bool // a flush loop is running
 	closed  bool
 	failErr error // injected fault: every subsequent flush fails with it
+	broken  error // sticky: the device died (crash or IO error); recovery required
 	stats   Stats
 }
 
-// New creates a WAL. If cfg.FsyncLatency is zero the log is disabled and
-// Commit returns immediately.
+// New creates a WAL. With no device and zero FsyncLatency the log is
+// disabled and Commit returns immediately.
 func New(cfg Config) *WAL {
 	w := &WAL{cfg: cfg}
 	w.idle.L = &w.mu
@@ -109,26 +149,35 @@ func (w *WAL) SetFaults(r *faultinject.Registry) { w.faults = r }
 // EvWALFlush (nil disables). Call before commits are in flight.
 func (w *WAL) SetTracer(r *trace.Recorder) { w.tracer = r }
 
-// Commit appends a commit record for txID carrying n payload bytes and
-// blocks until the record is durable (its flush group's device write
-// completed). It returns core.ErrWALClosed if the device shuts down
-// first, or the injected fault if one is set.
-func (w *WAL) Commit(txID uint64, n int) error {
-	if err := w.faults.Fire(FaultCommit, faultinject.Ctx{Tx: txID}); err != nil {
+// Commit appends rec to the log and blocks until it is durable (its
+// flush group's device write completed). It returns core.ErrWALClosed
+// if the device shuts down first, the injected fault if one is set, or
+// the sticky crash error once a flush has torn the device.
+func (w *WAL) Commit(rec *Record) error {
+	if err := w.faults.Fire(FaultCommit, faultinject.Ctx{Tx: rec.TxID}); err != nil {
 		return err
 	}
-	if w.tracer.Enabled() {
-		w.tracer.Emit(trace.Event{Kind: trace.EvWALCommit, Tx: txID, Bytes: n})
+	if w.cfg.Device != nil {
+		rec.enc = EncodeCommit(&CommitFrame{TxID: rec.TxID, CSN: rec.CSN, Rows: rec.Rows})
+		rec.Bytes = len(rec.enc)
 	}
-	if w.cfg.FsyncLatency <= 0 {
+	if w.tracer.Enabled() {
+		w.tracer.Emit(trace.Event{Kind: trace.EvWALCommit, Tx: rec.TxID, Bytes: rec.Bytes})
+	}
+	if !w.Enabled() {
 		return nil
 	}
-	rec := &Record{TxID: txID, Bytes: n, done: make(chan error, 1)}
+	rec.done = make(chan error, 1)
 
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return core.ErrWALClosed
+	}
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
+		return err
 	}
 	w.pending = append(w.pending, rec)
 	if !w.flusher {
@@ -138,6 +187,24 @@ func (w *WAL) Commit(txID uint64, n int) error {
 	w.mu.Unlock()
 
 	return <-rec.done
+}
+
+// fireFlush hits the FaultFlush point, converting an injected panic
+// (ActPanic modelling a mid-flush crash) into its error value instead
+// of letting it kill the background flush goroutine — and with it the
+// whole process. crashed reports that conversion, which the flush loop
+// turns into a torn device append plus a bricked WAL.
+func (w *WAL) fireFlush() (err error, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := faultinject.AsPanic(r)
+			if !ok {
+				panic(r)
+			}
+			err, crashed = p, true
+		}
+	}()
+	return w.faults.Fire(FaultFlush, faultinject.Ctx{}), false
 }
 
 // flushLoop drains pending records group by group. Exactly one loop runs
@@ -162,27 +229,62 @@ func (w *WAL) flushLoop() {
 			w.pending = nil
 		}
 		err := w.failErr
+		if err == nil {
+			err = w.broken
+		}
 		w.mu.Unlock()
 
+		var crashed bool
 		if err == nil {
-			err = w.faults.Fire(FaultFlush, faultinject.Ctx{})
+			err, crashed = w.fireFlush()
 		}
 
-		// The device write. Every record in the batch shares this wait —
-		// group commit.
+		// The device write occupies the log for the configured latency.
+		// Every record in the batch shares this wait — group commit.
 		time.Sleep(w.cfg.FsyncLatency)
 
-		w.mu.Lock()
-		w.stats.Flushes++
-		w.stats.Records += int64(len(batch))
 		batchBytes := 0
+		var frames []byte
 		for _, r := range batch {
-			w.stats.Bytes += int64(r.Bytes)
 			batchBytes += r.Bytes
+			frames = append(frames, r.enc...)
+		}
+
+		if w.cfg.Device != nil {
+			switch {
+			case crashed:
+				// Mid-flush crash: a strict prefix of the first frame
+				// reaches the platter (so no record in this batch is
+				// durable — none of them will be acknowledged) and the
+				// log is torn at that offset until recovery repairs it.
+				w.tornAppend(frames)
+			case err == nil:
+				if derr := w.devAppend(frames); derr != nil {
+					// A failed fsync means the device's durability
+					// promise is void (the fsyncgate lesson): refuse
+					// all further writes until recovery.
+					err = derr
+					w.mu.Lock()
+					w.broken = derr
+					w.mu.Unlock()
+				}
+			}
+		}
+
+		w.mu.Lock()
+		if err == nil {
+			w.stats.Flushes++
+			w.stats.Records += int64(len(batch))
+			w.stats.Bytes += int64(batchBytes)
+		} else {
+			w.stats.FailedFlushes++
+		}
+		if crashed {
+			w.broken = err
 		}
 		w.mu.Unlock()
 
-		if w.tracer.Enabled() {
+		if err == nil && w.tracer.Enabled() {
 			// Device-level event: no transaction; Depth is the group size.
 			w.tracer.Emit(trace.Event{Kind: trace.EvWALFlush, Depth: len(batch), Bytes: batchBytes})
 		}
@@ -193,12 +295,120 @@ func (w *WAL) flushLoop() {
 	}
 }
 
+// devAppend writes one flush batch to the device.
+func (w *WAL) devAppend(frames []byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	w.devMu.Lock()
+	defer w.devMu.Unlock()
+	return w.cfg.Device.Append(frames)
+}
+
+// tornAppend simulates the crash-interrupted device write: a strict
+// prefix of the batch's first frame is persisted, deterministically cut
+// by the batch checksum. Keeping the cut inside the first frame
+// guarantees no unacknowledged commit becomes durable, while still
+// leaving a genuinely torn tail for recovery to truncate.
+func (w *WAL) tornAppend(frames []byte) {
+	if len(frames) == 0 {
+		return
+	}
+	_, first, err := DecodeFrameAt(frames, 0)
+	if err != nil || first <= 0 {
+		first = len(frames)
+	}
+	cut := int(crc32.Checksum(frames, castagnoli) % uint32(first))
+	w.devMu.Lock()
+	_ = w.cfg.Device.Append(frames[:cut])
+	w.devMu.Unlock()
+}
+
+// WriteCheckpoint truncates the log to a single checkpoint frame. The
+// caller (engine.DB.Checkpoint) must guarantee quiescence: no commit
+// may sit between CSN allocation and publication, so every durable
+// frame is covered by the snapshot and Rewrite loses nothing.
+func (w *WAL) WriteCheckpoint(c *Checkpoint) error {
+	if w.cfg.Device == nil {
+		return core.ErrWALClosed
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return core.ErrWALClosed
+	}
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+
+	enc := EncodeCheckpoint(c)
+	w.devMu.Lock()
+	err := w.cfg.Device.Rewrite(enc)
+	w.devMu.Unlock()
+
+	w.mu.Lock()
+	if err == nil {
+		w.stats.Checkpoints++
+		w.stats.Bytes += int64(len(enc))
+	} else {
+		w.broken = err
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// AppendSchema persists a DDL frame so a log without a checkpoint can
+// still rebuild table definitions. No-op without a device.
+func (w *WAL) AppendSchema(s *core.Schema) error {
+	if w.cfg.Device == nil {
+		return nil
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return core.ErrWALClosed
+	}
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+
+	enc := EncodeSchema(s)
+	w.devMu.Lock()
+	err := w.cfg.Device.Append(enc)
+	w.devMu.Unlock()
+
+	w.mu.Lock()
+	if err == nil {
+		w.stats.Bytes += int64(len(enc))
+	} else {
+		w.broken = err
+	}
+	w.mu.Unlock()
+	return err
+}
+
 // InjectFailure makes every subsequent flush acknowledge its batch with
-// err (nil clears the fault). Used by failure-injection tests.
+// err (nil clears the fault). Nothing reaches the device while the
+// fault is set. Used by failure-injection tests.
 func (w *WAL) InjectFailure(err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.failErr = err
+}
+
+// Broken returns the sticky device-death error (nil while healthy). A
+// broken WAL rejects every commit until the engine is rebuilt from the
+// device via Recover.
+func (w *WAL) Broken() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
 }
 
 // Stats returns a snapshot of device activity.
@@ -232,5 +442,12 @@ func (w *WAL) Close() {
 	}
 }
 
-// Enabled reports whether the simulated device is active.
-func (w *WAL) Enabled() bool { return w.cfg.FsyncLatency > 0 }
+// Enabled reports whether commits must wait for the log: either the
+// latency simulation or a durable device is active.
+func (w *WAL) Enabled() bool { return w.cfg.FsyncLatency > 0 || w.cfg.Device != nil }
+
+// Persistent reports whether a durable device is attached.
+func (w *WAL) Persistent() bool { return w.cfg.Device != nil }
+
+// Device returns the attached log device (nil in latency-only mode).
+func (w *WAL) Device() LogDevice { return w.cfg.Device }

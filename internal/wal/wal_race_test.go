@@ -26,7 +26,7 @@ func TestCloseConcurrentWithCommits(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perCommitter; i++ {
-				results <- w.Commit(uint64(c*1000+i), 64)
+				results <- commitN(w, uint64(c*1000+i), 64)
 			}
 		}(c)
 	}
@@ -61,7 +61,7 @@ func TestCloseConcurrentWithCommits(t *testing.T) {
 		t.Log("close raced after all commits; nothing rejected (timing-dependent, not a failure)")
 	}
 	// After close: deterministic rejection, and Close stays idempotent.
-	if err := w.Commit(1, 1); !errors.Is(err, core.ErrWALClosed) {
+	if err := commitN(w, 1, 1); !errors.Is(err, core.ErrWALClosed) {
 		t.Fatalf("commit after close: %v", err)
 	}
 	w.Close()
@@ -104,7 +104,7 @@ func TestFaultFlushFailsWholeGroup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs <- w.Commit(uint64(i), 32)
+			errs <- commitN(w, uint64(i), 32)
 		}(i)
 	}
 	wg.Wait()
@@ -124,8 +124,15 @@ func TestFaultFlushFailsWholeGroup(t *testing.T) {
 		t.Fatal("injected flush fault failed no commits")
 	}
 	// The fault is exhausted (Count=1): the device must be healthy again.
-	if err := w.Commit(99, 32); err != nil {
+	if err := commitN(w, 99, 32); err != nil {
 		t.Fatalf("commit after exhausted fault: %v", err)
+	}
+	s := w.Stats()
+	if s.FailedFlushes == 0 {
+		t.Fatalf("stats = %+v; the faulted flush must count as failed", s)
+	}
+	if int(s.Records) != succeeded+1 {
+		t.Fatalf("stats = %+v; only acknowledged records may count (want %d)", s, succeeded+1)
 	}
 }
 
@@ -139,7 +146,7 @@ func TestFaultCommitFiresWithDeviceDisabled(t *testing.T) {
 	}
 	w := New(Config{})
 	w.SetFaults(reg)
-	if err := w.Commit(1, 8); !errors.Is(err, core.ErrInjected) {
+	if err := commitN(w, 1, 8); !errors.Is(err, core.ErrInjected) {
 		t.Fatalf("got %v, want ErrInjected", err)
 	}
 }

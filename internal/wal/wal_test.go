@@ -9,10 +9,16 @@ import (
 	"sicost/internal/core"
 )
 
+// commitN commits a bookkeeping-only record (the latency-simulation
+// shape most WAL tests exercise): txID plus an accounted byte size.
+func commitN(w *WAL, txID uint64, n int) error {
+	return w.Commit(&Record{TxID: txID, Bytes: n})
+}
+
 func TestDisabledWALIsFree(t *testing.T) {
 	w := New(Config{})
 	start := time.Now()
-	if err := w.Commit(1, 100); err != nil {
+	if err := commitN(w, 1, 100); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) > 50*time.Millisecond {
@@ -30,7 +36,7 @@ func TestCommitWaitsForFsync(t *testing.T) {
 	w := New(Config{FsyncLatency: 20 * time.Millisecond})
 	defer w.Close()
 	start := time.Now()
-	if err := w.Commit(1, 64); err != nil {
+	if err := commitN(w, 1, 64); err != nil {
 		t.Fatal(err)
 	}
 	if el := time.Since(start); el < 20*time.Millisecond {
@@ -53,7 +59,7 @@ func TestGroupCommitAmortizesFlushes(t *testing.T) {
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
-			if err := w.Commit(id, 10); err != nil {
+			if err := commitN(w, id, 10); err != nil {
 				t.Error(err)
 			}
 		}(uint64(i))
@@ -87,7 +93,7 @@ func TestMaxBatchSplitsGroups(t *testing.T) {
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
-			if err := w.Commit(id, 1); err != nil {
+			if err := commitN(w, id, 1); err != nil {
 				t.Error(err)
 			}
 		}(uint64(i))
@@ -107,12 +113,19 @@ func TestInjectFailure(t *testing.T) {
 	defer w.Close()
 	boom := errors.New("log disk failure")
 	w.InjectFailure(boom)
-	if err := w.Commit(1, 1); !errors.Is(err, boom) {
+	if err := commitN(w, 1, 1); !errors.Is(err, boom) {
 		t.Fatalf("Commit err = %v, want injected fault", err)
 	}
+	// A failed flush is accounted as failed, never as durable work.
+	if s := w.Stats(); s.FailedFlushes != 1 || s.Flushes != 0 || s.Records != 0 || s.Bytes != 0 {
+		t.Fatalf("stats after failed flush = %+v, want only FailedFlushes=1", s)
+	}
 	w.InjectFailure(nil)
-	if err := w.Commit(2, 1); err != nil {
+	if err := commitN(w, 2, 1); err != nil {
 		t.Fatalf("after clearing fault: %v", err)
+	}
+	if s := w.Stats(); s.FailedFlushes != 1 || s.Flushes != 1 || s.Records != 1 {
+		t.Fatalf("stats after recovery = %+v, want Flushes=1 Records=1 FailedFlushes=1", s)
 	}
 }
 
@@ -120,7 +133,7 @@ func TestCloseFailsPendingAndFutureCommits(t *testing.T) {
 	w := New(Config{FsyncLatency: 50 * time.Millisecond})
 
 	errc := make(chan error, 1)
-	go func() { errc <- w.Commit(1, 1) }()
+	go func() { errc <- commitN(w, 1, 1) }()
 	// Let the commit enqueue, then close mid-flight. The in-flight flush
 	// group may still succeed; what must hold is that a commit issued
 	// after Close fails immediately.
@@ -128,7 +141,7 @@ func TestCloseFailsPendingAndFutureCommits(t *testing.T) {
 	w.Close()
 	<-errc // either nil (already in a flush group) or ErrWALClosed
 
-	if err := w.Commit(2, 1); !errors.Is(err, core.ErrWALClosed) {
+	if err := commitN(w, 2, 1); !errors.Is(err, core.ErrWALClosed) {
 		t.Fatalf("commit after close = %v, want ErrWALClosed", err)
 	}
 	w.Close() // idempotent
@@ -138,7 +151,7 @@ func TestSequentialCommitsSeparateFlushes(t *testing.T) {
 	w := New(Config{FsyncLatency: 5 * time.Millisecond})
 	defer w.Close()
 	for i := 0; i < 3; i++ {
-		if err := w.Commit(uint64(i), 1); err != nil {
+		if err := commitN(w, uint64(i), 1); err != nil {
 			t.Fatal(err)
 		}
 	}

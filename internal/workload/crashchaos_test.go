@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+// TestCrashChaosDurabilityContract is the durability story's core
+// promise: across ≥20 crash/recover cycles — crashes landing mid-flush,
+// inside the WAL commit window, at commit stamping, mid-statement and
+// at begin — every acked commit survives recovery, no partial
+// transaction becomes visible, money is conserved, CSNs stay monotone,
+// recovery is idempotent, and the last survivor still commits.
+func TestCrashChaosDurabilityContract(t *testing.T) {
+	rep, err := RunCrashChaos(CrashChaosConfig{
+		Cycles: 20,
+		Seed:   7,
+		Burst:  measure(80 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("durability invariants violated: %v", rep.Violations)
+	}
+	if len(rep.Cycles) != 20 {
+		t.Fatalf("completed %d cycles, want 20", len(rep.Cycles))
+	}
+	if rep.CrashesFired() == 0 {
+		t.Fatal("no crash fault ever fired")
+	}
+	if rep.ResumeCommits == 0 {
+		t.Fatal("final resume burst committed nothing")
+	}
+	var commits int64
+	var torn, replayed, ckptRows int
+	for _, c := range rep.Cycles {
+		commits += c.Commits
+		torn += c.TornBytes
+		replayed += c.ReplayedCommits
+		ckptRows += c.CheckpointRows
+	}
+	if commits == 0 {
+		t.Fatal("crash cycles committed nothing")
+	}
+	// The rotation includes wal/flush panics, which tear the device
+	// append; at least one cycle must have exercised torn-tail repair.
+	if torn == 0 {
+		t.Fatal("no cycle exercised torn-tail truncation")
+	}
+	if replayed == 0 {
+		t.Fatal("no cycle exercised redo replay")
+	}
+	// CheckpointEvery defaults to 2, so later recoveries must have
+	// restored checkpoint rows.
+	if ckptRows == 0 {
+		t.Fatal("no cycle exercised checkpoint restore")
+	}
+}
+
+// TestCrashChaosModes runs a shorter rotation under the other two
+// concurrency-control modes: the durability contract is mode-agnostic.
+func TestCrashChaosModes(t *testing.T) {
+	for _, mode := range []core.CCMode{core.Strict2PL, core.SerializableSI} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rep, err := RunCrashChaos(CrashChaosConfig{
+				Mode:   mode,
+				Cycles: 6,
+				Seed:   11,
+				Burst:  measure(40 * time.Millisecond),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("durability invariants violated under %s: %v", mode, rep.Violations)
+			}
+			if rep.ResumeCommits == 0 {
+				t.Fatal("final resume burst committed nothing")
+			}
+		})
+	}
+}
