@@ -290,8 +290,14 @@ func (db *DB) Faults() *faultinject.Registry { return db.faults }
 
 // CreateTable declares a table. With a durable log attached the schema
 // is appended as a DDL frame, so a log that has never been checkpointed
-// still rebuilds its table definitions on recovery.
+// still rebuilds its table definitions on recovery. The create and the
+// DDL append run under the checkpoint barrier's read side: a checkpoint
+// cutting between them could snapshot the store without the table and
+// then Rewrite the log, discarding the schema frame permanently — later
+// commit frames for the table would then fail recovery.
 func (db *DB) CreateTable(schema *core.Schema) error {
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	if _, err := db.store.CreateTable(schema); err != nil {
 		return err
 	}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"sicost/internal/core"
@@ -292,6 +294,119 @@ func TestWALCommitPanicPublishesSlot(t *testing.T) {
 	commitUpdate(t, db, 1, 102)
 	if _, err := db.Checkpoint(); err != nil {
 		t.Fatalf("checkpoint after mid-commit crash: %v", err)
+	}
+}
+
+// TestSSIDoomedCommitLogsNothing pins the durable-WAL ordering of an
+// SSI commit: precommit must run before the commit frame is written, so
+// a transaction doomed during commit makes nothing durable. There is no
+// abort/compensation record — a frame logged before the doom was
+// discovered would be replayed after a crash and resurrect the aborted
+// transaction's writes.
+func TestSSIDoomedCommitLogsNothing(t *testing.T) {
+	dev := wal.NewMemDevice()
+	db := Open(Config{Mode: core.SerializableSI, WAL: wal.Config{Device: dev}})
+	if err := db.CreateTable(kvSchema("T")); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert("T", kv(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Doom the victim after its last statement, as a concurrent
+	// transaction's rw-antidependency would. The dead flag channel is
+	// left open so the cheap doomed() poll at the head of Commit does
+	// not fire and the doom is only discovered at precommit — the exact
+	// window the WAL ordering protects.
+	victim := db.Begin()
+	mustSetV(t, victim, 1, 666)
+	db.ssi.mu.Lock()
+	victim.ssi.dead = true
+	db.ssi.mu.Unlock()
+	if err := victim.Commit(); !errors.Is(err, core.ErrSerialization) {
+		t.Fatalf("doomed commit = %v, want ErrSerialization", err)
+	}
+	db.Close()
+
+	db2, rep, err := Recover(dev, Config{Mode: core.SerializableSI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if rep.ReplayedCommits != 1 {
+		t.Fatalf("replayed %d commits, want only the insert — the doomed commit reached the log", rep.ReplayedCommits)
+	}
+	if got := scanT(t, db2); got[1] != 100 {
+		t.Fatalf("recovered state %v — aborted transaction's write resurrected", got)
+	}
+}
+
+// TestCreateTableCheckpointRace races DDL against checkpoint rewrites.
+// CreateTable holds the checkpoint barrier across the store create and
+// the DDL append; without it a checkpoint can cut between the two,
+// snapshot the store without the table, and Rewrite the log — the
+// schema frame is gone, and recovery fails on the table's commits.
+func TestCreateTableCheckpointRace(t *testing.T) {
+	dev := wal.NewMemDevice()
+	db := openDurableKV(t, dev)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const tables = 24
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("R%d", i)
+		if err := db.CreateTable(kvSchema(name)); err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		if err := tx.Insert(name, kv(1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	db.Close()
+
+	db2, _, err := Recover(dev, Config{})
+	if err != nil {
+		t.Fatalf("recovery after DDL/checkpoint race: %v", err)
+	}
+	defer db2.Close()
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("R%d", i)
+		found := false
+		if err := db2.ScanLatest(name, func(k core.Value, rec core.Record) bool {
+			found = rec[1].Int64() == int64(i)
+			return false
+		}); err != nil {
+			t.Fatalf("table %s lost its schema frame: %v", name, err)
+		}
+		if !found {
+			t.Fatalf("table %s lost its committed row", name)
+		}
 	}
 }
 

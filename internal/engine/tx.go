@@ -481,6 +481,14 @@ func (tx *Tx) ReadOnly() bool { return len(tx.writes) == 0 && len(tx.sfus) == 0 
 // final image; a nil Rec is a delete tombstone. The images are read
 // while the rows are still X-locked by this transaction and are never
 // mutated after commit, so no copies are needed.
+//
+// Select-for-update re-stamps (tx.sfus) are deliberately absent: an SFU
+// changes no row content, only the row's lastSFUCommit watermark, which
+// exists to detect write conflicts against concurrent transactions —
+// and every concurrent transaction dies with the crash, so the
+// watermark is dead metadata to a recovered instance. An SFU-only
+// commit still logs a (row-less) frame carrying its CSN, keeping the
+// recovered sequencer's high-water mark exact.
 func (tx *Tx) rowImages() []wal.RowImage {
 	rows := make([]wal.RowImage, 0, len(tx.writes))
 	for _, w := range tx.writes {
@@ -530,8 +538,8 @@ func (tx *Tx) Commit() error {
 		// Enter the committing state: from here this transaction cannot
 		// be picked as an SSI abort victim, and a doom that raced the
 		// check above is caught now. Updating commits do this below,
-		// after their WAL wait, preserving the window in which a
-		// committer stalled on the device can still be doomed.
+		// inside the commit window but before their WAL write — a
+		// doomed transaction must never make a commit frame durable.
 		if err := tx.db.ssi.precommit(tx); err != nil {
 			tx.traceConflict(trace.ConflictSSI, "", core.Value{})
 			tx.abortCause = err
@@ -603,16 +611,24 @@ func (tx *Tx) Commit() error {
 					panic(r)
 				}
 			}()
-			if err := tx.db.log.Commit(rec); err != nil {
-				return err
-			}
+			// SSI precommit must precede the device write: recovery
+			// replays every durable commit frame and there is no
+			// abort/compensation record, so a transaction doomed here
+			// must abort having logged nothing — a frame written first
+			// would resurrect its writes after a crash. Once precommit
+			// succeeds the transaction is unabortable (a dangerous
+			// structure forming during the device wait dooms the
+			// fallback victim instead), so the frame logged next can
+			// never belong to an aborted transaction. A WAL failure
+			// after precommit still aborts cleanly: nothing became
+			// durable, and ssi.abort clears the committing state.
 			if tx.ssi != nil {
 				if err := tx.db.ssi.precommit(tx); err != nil {
 					tx.traceConflict(trace.ConflictSSI, "", core.Value{})
 					return err
 				}
 			}
-			return nil
+			return tx.db.log.Commit(rec)
 		}()
 		if err != nil {
 			// The CSN is allocated but nothing carries it: publish the
@@ -637,6 +653,9 @@ func (tx *Tx) Commit() error {
 				}
 			}
 		}
+		// SFU watermarks are not durable (see rowImages): they only
+		// gate conflicts with concurrent transactions, none of which
+		// survive a crash.
 		for _, s := range tx.sfus {
 			s.row.NoteSFUCommit(csn)
 			info.SFU = append(info.SFU, VersionRef{Table: s.table.Name(), Key: s.key, CSN: csn})

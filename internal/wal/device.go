@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -80,6 +81,7 @@ func (d *MemDevice) Size() int64 {
 // log disk. cmd/smallbank -wal uses it.
 type FileDevice struct {
 	mu   sync.Mutex
+	path string
 	f    *os.File
 	size int64
 }
@@ -95,7 +97,7 @@ func OpenFileDevice(path string) (*FileDevice, error) {
 		f.Close()
 		return nil, err
 	}
-	return &FileDevice{f: f, size: st.Size()}, nil
+	return &FileDevice{path: path, f: f, size: st.Size()}, nil
 }
 
 // Append implements LogDevice: write at the tail, then fsync.
@@ -121,18 +123,56 @@ func (d *FileDevice) Contents() ([]byte, error) {
 	return buf, nil
 }
 
-// Rewrite implements LogDevice: truncate and write the new image.
+// Rewrite implements LogDevice. The replacement must be atomic — a
+// checkpoint that truncated in place and crashed mid-write would leave
+// an empty or partial log, which the torn-tail rule would "recover" to
+// an empty database. So the new image goes to a temp file in the log's
+// directory, is fsynced, renamed over the log path (atomic on POSIX),
+// and the directory is fsynced to make the rename itself durable; a
+// crash at any point leaves either the old complete log or the new one.
 func (d *FileDevice) Rewrite(b []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.f.Truncate(0); err != nil {
-		return fmt.Errorf("wal: file truncate: %w", err)
-	}
-	if _, err := d.f.WriteAt(b, 0); err != nil {
+	dir := filepath.Dir(d.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(d.path)+".rewrite-*")
+	if err != nil {
 		return fmt.Errorf("wal: file rewrite: %w", err)
 	}
+	tmpPath := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: file rewrite: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpPath, d.path); err != nil {
+		return fail(err)
+	}
+	if err := syncDir(dir); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: file rewrite: %w", err)
+	}
+	// tmp's descriptor now names the file at d.path; it becomes the
+	// device's handle and the old (unlinked) one is released.
+	d.f.Close()
+	d.f = tmp
 	d.size = int64(len(b))
-	return d.f.Sync()
+	return nil
+}
+
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
 }
 
 // Size implements LogDevice.

@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFileDeviceRewriteAtomic exercises the rename-based Rewrite: the
+// log path must always hold a complete image (old or new, never a
+// truncated intermediate), the handle must keep working for appends and
+// reads after the swap, and no temp file may linger.
+func TestFileDeviceRewriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.wal")
+	d, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if err := d.Append([]byte("old-log-contents")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rewrite([]byte("checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-disk file and the handle's view must both show the new
+	// image in full.
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, []byte("checkpoint")) {
+		t.Fatalf("on-disk image %q, want %q", onDisk, "checkpoint")
+	}
+	got, err := d.Contents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("checkpoint")) {
+		t.Fatalf("Contents() = %q, want %q", got, "checkpoint")
+	}
+
+	// Appends after the swap land in the renamed file, not the old
+	// unlinked inode.
+	if err := d.Append([]byte("+redo")); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk, err = os.ReadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, []byte("checkpoint+redo")) {
+		t.Fatalf("post-rewrite append: on-disk %q, want %q", onDisk, "checkpoint+redo")
+	}
+	if d.Size() != int64(len("checkpoint+redo")) {
+		t.Fatalf("Size() = %d, want %d", d.Size(), len("checkpoint+redo"))
+	}
+
+	// The rename consumed the temp file; nothing else may remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".rewrite-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestFileDeviceRewriteReopenCycle round-trips Rewrite through a full
+// close/reopen, as a checkpoint followed by a process restart would.
+func TestFileDeviceRewriteReopenCycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cycle.wal")
+	d, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rewrite([]byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Size() != 2 {
+		t.Fatalf("reopened size %d, want 2", d2.Size())
+	}
+	got, err := d2.Contents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("bb")) {
+		t.Fatalf("reopened contents %q, want %q", got, "bb")
+	}
+}
