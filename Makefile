@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos crash walfuzz docs trace-smoke ci
+.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos crash walfuzz checkfuzz checksmoke docs trace-smoke ci
 
 all: build test
 
@@ -25,9 +25,10 @@ race:
 	$(GO) test -race ./...
 
 # Concurrency stress suite (goroutine fleets + property-based lock-table
-# equivalence) under the race detector, twice, to vary schedules.
+# equivalence, plus the MPL-16 online-checker subscription) under the
+# race detector, twice, to vary schedules.
 stress:
-	$(GO) test -race -count=2 -run 'TestStress|TestQuick' ./internal/storage ./internal/engine
+	$(GO) test -race -count=2 -run 'TestStress|TestQuick' ./internal/storage ./internal/engine ./internal/workload
 
 # Short fuzz smoke on both targets (30s each); CI-friendly bound.
 fuzz:
@@ -60,6 +61,27 @@ crash:
 walfuzz:
 	$(GO) test -fuzz FuzzRecoverLog -fuzztime 10s ./internal/wal
 
+# Fuzz the online windowed checker: arbitrary event streams (reordered,
+# truncated, duplicated, unknown kinds) must never panic, stay
+# deterministic, and never produce a false verdict on a valid stream.
+checkfuzz:
+	$(GO) test -fuzz FuzzOnlineCheck -fuzztime 10s ./internal/onlinecheck
+
+# Online-checker smoke: short online-checked SmallBank runs across the
+# isolation spectrum — bare SI (anomalies allowed and merely reported),
+# SFU promotion on the commercial platform, SSI, and S2PL; for the
+# serializability-guaranteeing configurations the live verdict gates the
+# exit status.
+checksmoke:
+	$(GO) run ./cmd/smallbank -check -mode si -strategy SI -mpl 8 -customers 300 \
+		-hotspot 20 -ramp 50ms -measure 300ms -seed 7 > /dev/null
+	$(GO) run ./cmd/smallbank -check -mode si -strategy PromoteWT-sfu -platform commercial \
+		-mpl 8 -customers 300 -hotspot 20 -ramp 50ms -measure 300ms -seed 7 > /dev/null
+	$(GO) run ./cmd/smallbank -check -mode ssi -mpl 8 -customers 300 \
+		-hotspot 20 -ramp 50ms -measure 300ms -seed 7 > /dev/null
+	$(GO) run ./cmd/smallbank -check -mode 2pl -mpl 8 -customers 300 \
+		-hotspot 20 -ramp 50ms -measure 300ms -seed 7 > /dev/null
+
 # Documentation gate: vet plus the package-doc lint (every package must
 # open with a conventional godoc comment; see cmd/doclint).
 docs: vet
@@ -80,9 +102,10 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkCommitParallel' -benchtime 1s -benchmem ./internal/engine | tee bench_latest.txt
 	$(GO) test -run XXX -bench 'BenchmarkCommitTraced' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_traced.txt
 	$(GO) test -run XXX -bench 'BenchmarkCommitDurable' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_durable.txt
+	$(GO) test -run XXX -bench 'BenchmarkOnlineCheck|BenchmarkIngest' -benchtime 1s -count 3 -benchmem ./internal/onlinecheck | tee bench_check.txt
 	$(GO) run ./cmd/benchjson -o BENCH_engine.json \
-		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled). The durable set prices the WAL: latency-only (no device) vs in-memory device (encoding + CRC32C framing) vs real log file (OS write per flushed batch)." \
-		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt durable=bench_durable.txt
-	rm -f bench_latest.txt bench_traced.txt bench_durable.txt
+		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled). The durable set prices the WAL: latency-only (no device) vs in-memory device (encoding + CRC32C framing) vs real log file (OS write per flushed batch). The checking set prices the online isolation checker: off/traced/checked time the same commit cycle with ring consumption off-timer (traced->checked is the <=5% commit-path budget), and BenchmarkIngest reports the checker's own off-path cost per event." \
+		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt durable=bench_durable.txt checking=bench_check.txt
+	rm -f bench_latest.txt bench_traced.txt bench_durable.txt bench_check.txt
 
-ci: build docs test race stress fuzzsmoke chaos crash walfuzz trace-smoke
+ci: build docs test race stress fuzzsmoke chaos crash walfuzz checkfuzz checksmoke trace-smoke

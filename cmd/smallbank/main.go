@@ -8,7 +8,7 @@
 //	smallbank -strategy SI -mpl 20
 //	smallbank -strategy MaterializeBW -mpl 20 -hotspot 10 -balmix 0.6
 //	smallbank -strategy PromoteWT-sfu -platform commercial -mpl 25
-//	smallbank -strategy SI -check          # attach the MVSG checker
+//	smallbank -strategy SI -check          # MVSG checker + live online checker
 //	smallbank -strategies                  # list strategies
 //	smallbank -chaos -mode 2pl -check      # fault-injected run + invariant audit
 //	smallbank -crash -crash-cycles 20      # crash/recover chaos + durability audit
@@ -32,6 +32,7 @@ import (
 	"sicost/internal/engine"
 	"sicost/internal/experiments"
 	"sicost/internal/faultinject"
+	"sicost/internal/onlinecheck"
 	"sicost/internal/smallbank"
 	"sicost/internal/trace"
 	"sicost/internal/wal"
@@ -53,7 +54,7 @@ func main() {
 		measure      = flag.Duration("measure", 2*time.Second, "measurement interval")
 		scale        = flag.Float64("scale", 1.0, "simulated-hardware time scale")
 		seed         = flag.Int64("seed", 1, "random seed")
-		check        = flag.Bool("check", false, "attach the MVSG serializability checker")
+		check        = flag.Bool("check", false, "attach the MVSG serializability checker and the online windowed checker")
 		chaos        = flag.Bool("chaos", false, "arm the default fault plan and audit the standing invariants")
 		crash        = flag.Bool("crash", false, "run the crash/recover chaos harness and audit the durability contract")
 		crashCycles  = flag.Int("crash-cycles", 20, "crash/recover cycles for -crash")
@@ -217,10 +218,21 @@ func main() {
 	}
 
 	var chk *checker.Checker
+	var ochk *onlinecheck.Checker
 	if *check && !*chaos {
-		// In chaos mode RunChaos attaches its own checker.
+		// In chaos mode RunChaos attaches its own checker. Outside it,
+		// -check runs both verdict paths: the offline MVSG checker fed by
+		// the engine observer hooks, and the online windowed checker fed
+		// by the live trace stream — each cross-validating the other on
+		// the same execution. Under 2PL reads legitimately see versions
+		// newer than the begin point, so the SI read/write rules only
+		// apply to the snapshot-based modes.
 		chk = checker.New()
 		db.SetObserver(chk)
+		ochk = onlinecheck.New(onlinecheck.Config{SIRules: engCfg.Mode != core.Strict2PL})
+		if *pprofAddr != "" {
+			expvar.Publish("sicost_onlinecheck", expvar.Func(func() any { return ochk.Stats() }))
+		}
 	}
 
 	mix := workload.UniformMix()
@@ -239,6 +251,7 @@ func main() {
 		HotspotSize: *hotspot, HotspotProb: *hotProb, Mix: mix,
 		Ramp: *ramp, Measure: *measure, Seed: *seed,
 		MaxRetries: *retries, Retry: policy,
+		Check: ochk,
 	}
 
 	rec.SetEnabled(true) // no-op when -trace is unset (nil recorder)
@@ -337,15 +350,39 @@ func main() {
 
 	if rec != nil {
 		rec.SetEnabled(false)
-		if err := writeTrace(rec, *tracePath); err != nil {
+		// With -check attached, the run's subscription consumed the rings
+		// and handed the delivered stream back via Result.TraceEvents;
+		// only post-run events (the checkpoint) are still in the rings.
+		events := append(res.TraceEvents, rec.Drain()...)
+		if err := writeTrace(events, rec.Dropped(), *tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, "smallbank:", err)
 			os.Exit(1)
 		}
 	}
 
+	var offRep *checker.Report
 	if chk != nil {
-		rep := chk.Analyze()
-		fmt.Printf("\nserializability: %s", rep.Describe())
+		offRep = chk.Analyze()
+		fmt.Printf("\nserializability: %s", offRep.Describe())
+	}
+	if res.Check != nil {
+		fmt.Printf("online check: %s", res.Check.Describe())
+		st := res.Check.Stats
+		fmt.Printf("online window: %d events, peak %d committed + %d in-flight, %d retired, watermark %d\n",
+			st.Events, st.MaxWindow, st.MaxPending, st.Retired, st.Watermark)
+		if offRep != nil && offRep.Serializable != res.Check.Serializable {
+			fmt.Fprintln(os.Stderr, "warning: online and offline checkers disagree on serializability")
+		}
+		// A violation verdict fails the run only when the configuration
+		// promises serializable executions: 2PL and SSI always, plain SI
+		// only under a sound serializable strategy (§II-C). Under bare SI
+		// the anomalies ARE the experiment.
+		expectSer := engCfg.Mode != core.SnapshotFUW ||
+			(strategy.GuaranteesSerializable() && strategy.SoundOn(engCfg.Platform))
+		if expectSer && (!res.Check.Serializable || res.Check.SIViolations != 0) {
+			fmt.Fprintln(os.Stderr, "smallbank: online checker detected isolation violations")
+			os.Exit(1)
+		}
 	}
 
 	if chaosRep != nil {
@@ -411,12 +448,10 @@ func runCrashChaos(mode core.CCMode, platform core.Platform, cycles int, seed in
 	fmt.Println("durability contract: held across all cycles")
 }
 
-// writeTrace drains the recorder, sanity-checks the stream against the
-// lifecycle invariants and writes it as JSONL. Ring overflow is reported
-// but is not an error (the trace just has gaps).
-func writeTrace(rec *trace.Recorder, path string) error {
-	events := rec.Drain()
-	dropped := rec.Dropped()
+// writeTrace sanity-checks the captured stream against the lifecycle
+// invariants and writes it as JSONL. Ring overflow is reported but is
+// not an error (the trace just has gaps).
+func writeTrace(events []trace.Event, dropped uint64, path string) error {
 	// A complete stream must satisfy the strict lifecycle invariants;
 	// with ring overflow, only the schema-level checks can hold.
 	if err := trace.ValidateWith(events, trace.ValidateOptions{AllowGaps: dropped > 0}); err != nil {

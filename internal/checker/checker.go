@@ -246,20 +246,30 @@ func (r *Report) Classify() string {
 	if r.Serializable {
 		return "serializable"
 	}
+	return ClassifyCycle(r.Cycle, r.CycleDeps, r.Writers)
+}
+
+// ClassifyCycle names the anomaly shape of one witness cycle: the
+// transaction ids along the cycle (first repeated last), the edge per
+// step, and the set of transactions that committed writes. It is the
+// shared verdict vocabulary of this offline analyzer and the online
+// windowed checker (internal/onlinecheck), so the cross-validation
+// suite can compare classifications verbatim.
+func ClassifyCycle(cycle []uint64, cycleDeps []Dep, writers map[uint64]bool) string {
 	rw := 0
-	for _, d := range r.CycleDeps {
+	for _, d := range cycleDeps {
 		if d.Kind == RW {
 			rw++
 		}
 	}
 	// Distinct transactions on the cycle (cycle repeats the first node).
 	distinct := map[uint64]bool{}
-	for _, id := range r.Cycle {
+	for _, id := range cycle {
 		distinct[id] = true
 	}
 	readOnly := false
 	for id := range distinct {
-		if !r.Writers[id] {
+		if !writers[id] {
 			readOnly = true
 		}
 	}

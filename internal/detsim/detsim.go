@@ -30,6 +30,7 @@ import (
 	"sicost/internal/engine"
 	"sicost/internal/faultinject"
 	"sicost/internal/histories"
+	"sicost/internal/onlinecheck"
 	"sicost/internal/trace"
 )
 
@@ -85,6 +86,11 @@ type Result struct {
 	// Report is the serializability analysis of everything that
 	// committed (MVSG over the recorded reads/writes).
 	Report *checker.Report
+	// Online is the online windowed checker's verdict over the
+	// schedule's trace stream (Runner.OnlineCheck). Cross-validating it
+	// against Report is how the exhaustive interleaving suite proves
+	// the incremental checker equivalent to the post-hoc analysis.
+	Online *onlinecheck.Report
 	// Infos are the raw commit records the Report was computed from
 	// (input to the brute-force oracle).
 	Infos []engine.TxInfo
@@ -125,6 +131,13 @@ type Runner struct {
 	// dump is byte-stable (schedules without lock waits; a blocked
 	// step's wait/wake events race the next dispatched step's).
 	Tracer *trace.Recorder
+	// OnlineCheck additionally runs the schedule's trace stream through
+	// the online windowed checker (internal/onlinecheck) and stores the
+	// verdict in Result.Online. When Tracer is nil a private
+	// deterministic recorder is installed; when Tracer is set its
+	// stream is consumed (drained) at finalize. SI-rule checking is on
+	// for the snapshot modes and off for Strict2PL.
+	OnlineCheck bool
 }
 
 // Run parses the script (the histories DSL) and executes it step by
@@ -222,6 +235,10 @@ type sched struct {
 	events      chan event
 	completions chan completion
 	res         *Result
+	// onlineRec is the recorder whose stream feeds the online checker
+	// at finalize (Runner.OnlineCheck): the caller's Tracer, or a small
+	// private deterministic one.
+	onlineRec *trace.Recorder
 }
 
 // waitObs adapts the scheduler to engine.WaitObserver. The hooks run
@@ -296,6 +313,15 @@ func newSched(r Runner, progs map[int][]histories.Step) (*sched, error) {
 	chk.Reset()
 	if r.Tracer != nil {
 		db.SetTracer(r.Tracer)
+	}
+	if r.OnlineCheck {
+		sc.onlineRec = r.Tracer
+		if sc.onlineRec == nil {
+			// One small shard: strict global FIFO, and cheap enough to
+			// allocate per schedule inside Explore's exhaustive DFS.
+			sc.onlineRec = trace.New(trace.Options{Shards: 1, ShardCap: 1 << 12, Clock: trace.CounterClock()})
+			db.SetTracer(sc.onlineRec)
+		}
 	}
 	db.SetWaitObserver((*waitObs)(sc))
 	for txn, prog := range progs {
@@ -551,6 +577,10 @@ func (sc *sched) finalize() {
 	sc.res.HeldLocks, sc.res.QueuedLocks = sc.db.LockAudit()
 	sc.res.Infos = sc.chk.Infos()
 	sc.res.Report = sc.chk.Analyze()
+	if sc.onlineRec != nil {
+		sc.res.Online = onlinecheck.Run(sc.onlineRec.Drain(),
+			onlinecheck.Config{SIRules: sc.r.Mode != core.Strict2PL})
+	}
 	sc.res.Contention = sc.db.Contention()
 	sc.res.Final = make(map[string]int64)
 	_ = sc.db.ScanLatest(histories.Table, func(key core.Value, rec core.Record) bool {

@@ -27,6 +27,12 @@ type ExploreConfig struct {
 	// inputs, not a sampling knob: within the limit the exploration is
 	// exhaustive.
 	MaxSchedules int
+	// OnlineCheck runs every finalized schedule's trace stream through
+	// the online windowed checker too, and fails the exploration with
+	// an error if its serializability verdict ever diverges from the
+	// post-hoc MVSG analysis — exhaustive cross-validation of the two
+	// checkers over every interleaving.
+	OnlineCheck bool
 }
 
 // Outcome is the observable result of one complete schedule, quotiented
@@ -187,7 +193,7 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	if maxSchedules == 0 {
 		maxSchedules = 100000
 	}
-	runner := Runner{Mode: cfg.Mode, Platform: cfg.Platform, Items: cfg.Items}
+	runner := Runner{Mode: cfg.Mode, Platform: cfg.Platform, Items: cfg.Items, OnlineCheck: cfg.OnlineCheck}
 
 	res := &ExploreResult{}
 	seen := make(map[string]*ScheduleOutcome)
@@ -197,6 +203,10 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 		r, runnable, err := runner.RunSchedule(progs, prefix, true)
 		if err != nil {
 			return fmt.Errorf("detsim: schedule %v: %w", prefix, err)
+		}
+		if cfg.OnlineCheck && r.Online != nil && r.Online.Serializable != r.Report.Serializable {
+			return fmt.Errorf("detsim: schedule %v: online checker says serializable=%v, MVSG analysis says %v\nonline: %soffline: %s",
+				prefix, r.Online.Serializable, r.Report.Serializable, r.Online.Describe(), r.Report.Describe())
 		}
 		if len(runnable) == 0 {
 			// Complete: every transaction finished (a stuck-all-blocked

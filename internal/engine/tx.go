@@ -188,12 +188,18 @@ func (tx *Tx) visibleVersion(row *storage.Row) *storage.Version {
 }
 
 // recordRead registers a read for the observer/SSI. Reads of the
-// transaction's own writes are not dependencies and are skipped.
+// transaction's own writes are not dependencies and are skipped. The
+// EvReadVer event mirrors the recorded entry exactly (version CSN
+// included), so a trace consumer can rebuild the dependency-relevant
+// read set without the Observer hook.
 func (tx *Tx) recordRead(tbl *storage.Table, key core.Value, v *storage.Version) {
 	if v.Creator == tx.id && v.CSN() == 0 {
 		return
 	}
 	tx.reads = append(tx.reads, VersionRef{Table: tbl.Name(), Key: key, CSN: v.CSN()})
+	if tx.db.tracer.Enabled() {
+		tx.db.tracer.Emit(trace.Event{Kind: trace.EvReadVer, Tx: tx.id, Table: tbl.Name(), Key: key, CSN: v.CSN()})
+	}
 }
 
 // Get returns the record stored under key in table, as visible to this
@@ -643,6 +649,16 @@ func (tx *Tx) Commit() error {
 		for _, w := range tx.writes {
 			w.ver.MarkCommitted(csn)
 			info.Writes = append(info.Writes, VersionRef{Table: w.table.Name(), Key: w.key, CSN: csn})
+		}
+		// The committed write set, one EvWriteVer per row, emitted after
+		// the CSN exists and before EvCommit (same shard, so per-tx FIFO
+		// puts the set ahead of the commit event). Statement-level
+		// EvWrite events cannot serve here: they over-approximate (a
+		// failed statement still emitted one) and carry no CSN.
+		if tx.db.tracer.Enabled() {
+			for _, w := range tx.writes {
+				tx.db.tracer.Emit(trace.Event{Kind: trace.EvWriteVer, Tx: tx.id, Table: w.table.Name(), Key: w.key, CSN: csn})
+			}
 		}
 		seen := make(map[*storage.Table]bool)
 		for _, w := range tx.writes {

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSubInterval is how often a Subscription drains the recorder
+// when the caller does not choose an interval: fast enough that the
+// rings never approach capacity under the stress workloads, slow
+// enough that an idle subscription costs nothing measurable.
+const DefaultSubInterval = time.Millisecond
+
+// SubOptions configures a Subscription.
+type SubOptions struct {
+	// Interval is the pump period (0 means DefaultSubInterval).
+	Interval time.Duration
+	// Retain additionally accumulates every delivered event, so a
+	// caller that also wants the full stream (e.g. cmd/smallbank
+	// -trace alongside -check) can fetch it with Events after Close —
+	// a subscription otherwise consumes the recorder's rings.
+	Retain bool
+}
+
+// Subscription pumps a Recorder's rings into a sink on a background
+// goroutine, turning the pull-style Drain into a live event feed. It
+// takes over the single-consumer role: while a subscription is open,
+// nothing else may call Drain on the recorder.
+//
+// Delivery contract, which the online checker's retirement rule leans
+// on:
+//
+//   - each sink call receives one complete drain pass, timestamp-sorted,
+//     with per-transaction FIFO order preserved (one transaction's
+//     events share a shard);
+//   - an Emit that returned before a pass started is delivered by that
+//     pass — so any transaction still unseen after pass P began after
+//     pass P-1's events were published.
+//
+// The sink runs on the pump goroutine; it must not call back into the
+// subscription (except Flush from another goroutine, which serializes
+// through the same mutex).
+type Subscription struct {
+	rec      *Recorder
+	sink     func([]Event)
+	interval time.Duration
+
+	// mu serializes drain passes (the ticker loop, Flush and the final
+	// Close pass) — Drain itself is single-consumer.
+	mu       sync.Mutex
+	retain   bool
+	retained []Event
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Subscribe attaches sink to rec and starts the pump. Close it to stop
+// pumping and deliver the final drain. A nil recorder yields a
+// subscription whose pump never delivers anything (Close is still
+// valid), mirroring the nil-Recorder convention.
+func Subscribe(rec *Recorder, sink func([]Event), opts SubOptions) *Subscription {
+	s := &Subscription{
+		rec:      rec,
+		sink:     sink,
+		interval: opts.Interval,
+		retain:   opts.Retain,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if s.interval <= 0 {
+		s.interval = DefaultSubInterval
+	}
+	go s.loop()
+	return s
+}
+
+// loop is the pump goroutine: drain on a ticker until stopped.
+func (s *Subscription) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.Flush()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Flush synchronously runs one drain pass and delivers it to the sink
+// (also the deterministic tests' way to force delivery without waiting
+// for the ticker). Safe to call concurrently with the pump; passes are
+// serialized. Flushing a closed subscription is a no-op.
+func (s *Subscription) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+func (s *Subscription) flushLocked() {
+	if s.closed || s.rec == nil {
+		return
+	}
+	evs := s.rec.Drain()
+	if s.retain {
+		s.retained = append(s.retained, evs...)
+	}
+	// Deliver even empty passes: the pass boundary itself is information
+	// (the online checker advances its retirement watermark on it).
+	s.sink(evs)
+}
+
+// Close stops the pump, runs one final drain pass (so events emitted
+// before Close are delivered) and returns. Idempotent.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.flushLocked()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}
+
+// Events returns the retained stream (SubOptions.Retain), in delivery
+// order. Call after Close; calling earlier returns a snapshot of what
+// has been delivered so far.
+func (s *Subscription) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.retained))
+	copy(out, s.retained)
+	return out
+}

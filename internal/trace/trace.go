@@ -92,6 +92,22 @@ const (
 	// CSN is the recovered high-water mark, Depth the number of commit
 	// frames replayed and Bytes the valid log prefix length.
 	EvRecovery
+	// EvReadVer: the version actually read by a point read of Table/Key —
+	// CSN is the commit sequence number of that version (0 for rows
+	// created before tracing was enabled). Unlike EvRead (statement
+	// start), this is emitted after visibility resolution and skips reads
+	// of the transaction's own writes, so a transaction's read-ver events
+	// are exactly its dependency-relevant read set (engine.TxInfo.Reads).
+	// Appended after the device-level kinds to keep their wire values
+	// stable; within a transaction it occurs between begin and commit.
+	EvReadVer
+	// EvWriteVer: one committed version created by the transaction on
+	// Table/Key, CSN = the commit CSN. Emitted inside Commit after the
+	// CSN is allocated, one event per written row, before EvCommit —
+	// unlike EvWrite (statement start), which over-approximates the
+	// write set (a statement can fail without dooming the transaction).
+	// The write-ver events are exactly engine.TxInfo.Writes.
+	EvWriteVer
 
 	numKinds
 )
@@ -102,7 +118,13 @@ var kindNames = [numKinds]string{
 	"begin", "snapshot", "read", "write", "sfu",
 	"lock-wait", "lock-wake", "conflict", "abort", "commit",
 	"wal-commit", "wal-flush", "checkpoint", "recovery",
+	"read-ver", "write-ver",
 }
+
+// NumKinds returns the number of defined event kinds. Consumers that
+// must tolerate streams from newer schemas (the online checker) compare
+// Kind values against it instead of panicking on unknowns.
+func NumKinds() int { return int(numKinds) }
 
 // String returns the wire name of the kind.
 func (k Kind) String() string {
@@ -292,11 +314,28 @@ func (r *Recorder) Drain() []Event {
 	if r == nil {
 		return nil
 	}
-	var out []Event
-	for _, s := range r.shards {
-		for {
+	// Take a consistent cut before popping anything: snapshot every
+	// shard's occupancy first, then collect at most that much from each.
+	// Popping shard by shard to exhaustion instead would admit events
+	// emitted *during* the drain into late shards but not early ones —
+	// a skew of whole scheduler quanta on a busy box — and a subscriber
+	// deriving a watermark from the stream (the online checker) would
+	// see transactions whose begin made the cut but whose commit did
+	// not, pinning its window to the skew. The cut loop is a handful of
+	// atomic loads; events racing it land in the next drain.
+	counts := make([]int, len(r.shards))
+	total := 0
+	for i, s := range r.shards {
+		counts[i] = int(s.tail.Load() - s.head.Load())
+		total += counts[i]
+	}
+	out := make([]Event, 0, total)
+	for i, s := range r.shards {
+		for n := counts[i]; n > 0; n-- {
 			ev, ok := s.pop()
 			if !ok {
+				// A producer claimed a ticket inside the cut but has not
+				// published the event yet; it belongs to the next drain.
 				break
 			}
 			out = append(out, ev)

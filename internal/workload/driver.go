@@ -17,7 +17,9 @@ import (
 	"sicost/internal/engine"
 	"sicost/internal/faultinject"
 	"sicost/internal/metrics"
+	"sicost/internal/onlinecheck"
 	"sicost/internal/smallbank"
+	"sicost/internal/trace"
 )
 
 // Mix assigns a probability to each smallbank.TxnType; entries must sum
@@ -99,6 +101,17 @@ type Config struct {
 	// Retry chooses the retry discipline. Nil means
 	// ImmediatePolicy{MaxRetries} — the paper's closed-loop behaviour.
 	Retry RetryPolicy
+	// Check, when non-nil, subscribes this online windowed isolation
+	// checker to the run's live trace stream: Run attaches it to the
+	// database's lifecycle recorder (installing a private recorder when
+	// none is configured) and finalizes its report into Result.Check
+	// after the clients drain. The caller constructs the checker so it
+	// can also expose the live Stats (e.g. through expvar) while the
+	// run is in flight.
+	Check *onlinecheck.Checker
+	// CheckInterval is the subscription pump period when Check is set
+	// (0 means trace.DefaultSubInterval).
+	CheckInterval time.Duration
 }
 
 func (c *Config) defaults() error {
@@ -206,6 +219,17 @@ type Result struct {
 	// lock-wait and commit-latency histograms. Commit-latency metering
 	// is switched on for the run's duration by Run itself.
 	Engine metrics.TxnSnapshot
+	// Check is the online checker's finalized report when Config.Check
+	// was set: the live serializability/SI verdict over the whole run
+	// (ramp included) plus window and retirement statistics.
+	Check *onlinecheck.Report
+	// TraceEvents is the full trace stream the checker consumed, in
+	// delivery order — populated only when Config.Check was set AND the
+	// database already had a recorder installed (the subscription takes
+	// over that recorder's single-consumer role, so callers that also
+	// want the raw stream, e.g. cmd/smallbank -trace -check, read it
+	// from here instead of draining the recorder themselves).
+	TraceEvents []trace.Event
 }
 
 // AbortAttribution is the fraction of the run's engine-side aborts that
@@ -239,9 +263,6 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	start := time.Now()
-	measureStart := start.Add(cfg.Ramp)
-	deadline := measureStart.Add(cfg.Measure)
 	contBase := db.Contention()
 	// Meter commit latency for the duration of the run (it is off by
 	// default to keep the bare commit path clock-free), and snapshot the
@@ -249,6 +270,31 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	db.SetMetricsEnabled(true)
 	defer db.SetMetricsEnabled(false)
 	engineBase := db.TxnMetrics()
+
+	// Attach the online checker to the trace stream before any client
+	// starts, so the very first begin is observed. When the database has
+	// no recorder of its own, install a private one for the run; when it
+	// does (the caller also wants the raw stream), reuse it and retain
+	// the delivered events for Result.TraceEvents.
+	var sub *trace.Subscription
+	reuseRec := false
+	if cfg.Check != nil {
+		rec := db.Tracer()
+		reuseRec = rec != nil
+		if !reuseRec {
+			rec = trace.New(trace.Options{})
+			db.SetTracer(rec)
+		}
+		sub = trace.Subscribe(rec, cfg.Check.Ingest,
+			trace.SubOptions{Interval: cfg.CheckInterval, Retain: reuseRec})
+	}
+
+	// The clock starts after instrumentation setup: allocating a private
+	// recorder's rings is real work (notably under the race detector),
+	// and it must not eat into the ramp or the measurement interval.
+	start := time.Now()
+	measureStart := start.Add(cfg.Ramp)
+	deadline := measureStart.Add(cfg.Measure)
 
 	var wg sync.WaitGroup
 	stats := make([]*clientStats, cfg.MPL)
@@ -266,6 +312,20 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	wg.Wait()
 
 	res := &Result{Config: cfg, Measured: cfg.Measure}
+	if sub != nil {
+		sub.Close() // final drain: every committed event reaches the checker
+		// End-of-stream settle pass: with every terminal delivered and no
+		// transaction in flight, the floor reaches the newest published
+		// CSN and the whole window retires — Result.Check reports the
+		// true memory high-water mark, not a tail of unretired commits.
+		cfg.Check.Ingest(nil)
+		res.Check = cfg.Check.Finalize()
+		if reuseRec {
+			res.TraceEvents = sub.Events()
+		} else {
+			db.SetTracer(nil)
+		}
+	}
 	for i := range res.PerType {
 		res.PerType[i].Aborts = make(map[core.AbortReason]int64)
 	}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+	"sicost/internal/onlinecheck"
+	"sicost/internal/smallbank"
+	"sicost/internal/trace"
+)
+
+// TestRunWithOnlineChecker attaches the online windowed checker to a
+// workload run on an engine whose mode guarantees serializability (SSI):
+// the live verdict must be clean, retirement must be active (memory is
+// O(window), not O(history)), and the private recorder Run installed
+// must be removed again afterwards.
+func TestRunWithOnlineChecker(t *testing.T) {
+	db := loadedDB(t, core.SerializableSI, 100)
+	chk := onlinecheck.New(onlinecheck.Config{SIRules: true})
+	res, err := Run(db, Config{
+		Strategy: smallbank.StrategySI,
+		MPL:      8, Customers: 100, HotspotSize: 4, HotspotProb: 1.0,
+		Ramp: 10 * time.Millisecond, Measure: measure(200 * time.Millisecond), Seed: 3,
+		Check: chk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check == nil {
+		t.Fatal("Config.Check set but Result.Check is nil")
+	}
+	if res.Check.Txns == 0 {
+		t.Fatal("online checker saw no transactions")
+	}
+	if !res.Check.Serializable || res.Check.SIViolations != 0 {
+		t.Fatalf("false verdict on an SSI execution:\n%s", res.Check.Describe())
+	}
+	st := res.Check.Stats
+	if st.Retired != st.Commits {
+		t.Fatalf("retired %d of %d commits: %+v", st.Retired, st.Commits, st)
+	}
+	if st.MaxWindow >= int(st.Commits) {
+		t.Fatalf("window peak %d did not stay below commit count %d", st.MaxWindow, st.Commits)
+	}
+	// Run installed a private recorder: no retained raw stream, and the
+	// recorder is uninstalled again when the run ends.
+	if res.TraceEvents != nil {
+		t.Fatalf("unexpected retained trace (%d events) with a private recorder", len(res.TraceEvents))
+	}
+	if db.Tracer() != nil {
+		t.Fatal("private recorder left installed after Run")
+	}
+}
+
+// TestRunOnlineCheckerRetainsTrace: when the database already has a
+// recorder (the -trace path), the checker subscription takes over its
+// single-consumer role and the delivered stream comes back through
+// Result.TraceEvents, still passing full lifecycle validation.
+func TestRunOnlineCheckerRetainsTrace(t *testing.T) {
+	db := loadedDB(t, core.Strict2PL, 100)
+	rec := trace.New(trace.Options{})
+	db.SetTracer(rec)
+	chk := onlinecheck.New(onlinecheck.Config{SIRules: false})
+	res, err := Run(db, Config{
+		Strategy: smallbank.StrategySI,
+		MPL:      4, Customers: 100, HotspotSize: 10, HotspotProb: 0.9,
+		Measure: measure(150 * time.Millisecond), Seed: 9,
+		Check: chk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Check.Serializable || res.Check.SIViolations != 0 {
+		t.Fatalf("false verdict on a 2PL execution:\n%s", res.Check.Describe())
+	}
+	if len(res.TraceEvents) == 0 {
+		t.Fatal("no retained trace despite a pre-installed recorder")
+	}
+	if db.Tracer() != rec {
+		t.Fatal("pre-installed recorder removed by Run")
+	}
+	opts := trace.ValidateOptions{AllowGaps: rec.Dropped() > 0}
+	if err := trace.ValidateWith(res.TraceEvents, opts); err != nil {
+		t.Fatalf("retained stream fails validation: %v", err)
+	}
+}
+
+// TestStressOnlineCheck is the race-detector stress: MPL 16 on a
+// pathological hotspot with the online checker subscribed to the live
+// stream, under both serializability-guaranteeing modes. The checker
+// must keep its window bounded while thousands of transactions stream
+// through, produce zero false verdicts, and lose no events.
+func TestStressOnlineCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mode    core.CCMode
+		siRules bool
+	}{
+		{"ssi", core.SerializableSI, true},
+		{"2pl", core.Strict2PL, false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			db := loadedDB(t, tc.mode, 200)
+			rec := trace.New(trace.Options{})
+			db.SetTracer(rec)
+			chk := onlinecheck.New(onlinecheck.Config{SIRules: tc.siRules})
+			res, err := Run(db, Config{
+				Strategy: smallbank.StrategySI,
+				MPL:      16, Customers: 200, HotspotSize: 4, HotspotProb: 1.0,
+				Ramp: 20 * time.Millisecond, Measure: measure(400 * time.Millisecond), Seed: 17,
+				Check: chk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := rec.Dropped(); d != 0 {
+				t.Fatalf("recorder dropped %d events under the checker subscription", d)
+			}
+			if !res.Check.Serializable || res.Check.SIViolations != 0 {
+				t.Fatalf("false verdict under %s:\n%s", tc.mode, res.Check.Describe())
+			}
+			st := res.Check.Stats
+			if st.Commits < 100 {
+				t.Fatalf("stress produced only %d commits", st.Commits)
+			}
+			// Memory is O(window), not O(history): the window spans the
+			// oldest in-flight snapshot (a transaction parked in a lock
+			// wait legitimately pins it — anything committed since its
+			// snapshot can still gain an edge from it), so the peak is
+			// schedule-dependent; but retirement must have run DURING the
+			// run, and the end-of-stream settle must reclaim everything.
+			if st.MaxWindow >= int(st.Commits) {
+				t.Fatalf("window peak %d never dipped below commit count %d: no live retirement", st.MaxWindow, st.Commits)
+			}
+			if st.Retired != st.Commits {
+				t.Fatalf("retired %d of %d commits; settle pass left a tail", st.Retired, st.Commits)
+			}
+			if st.Window != 0 {
+				t.Fatalf("%d transactions left in the window after settle", st.Window)
+			}
+			if st.Pending != 0 {
+				t.Fatalf("%d transactions still pending after final drain", st.Pending)
+			}
+		})
+	}
+}
