@@ -49,17 +49,26 @@ chaos:
 	$(GO) test -short -count=1 -run 'TestChaos|TestInjected|TestFaulted' ./internal/workload ./internal/detsim
 
 # Crash/recover chaos: rotate a panic fault through the commit path
-# (including mid-WAL-flush), recover from the surviving log image after
-# every crash and audit the durability contract — acked state survives,
+# (including mid-WAL-flush, inside the coalesced-sync window and at
+# segment rotation), recover from the surviving log image after every
+# crash and audit the durability contract — acked state survives,
 # unacked state vanishes, money is conserved, recovery is idempotent.
+# The second smallbank run exercises asynchronous commit on a segmented
+# log, auditing the durable-prefix contract instead (acked-durable
+# commits survive; only the un-acked tail may vanish).
 crash:
 	$(GO) run ./cmd/smallbank -crash -crash-cycles 10 -mode 2pl -seed 7 > /dev/null
+	$(GO) run ./cmd/smallbank -crash -crash-cycles 10 -crash-async -crash-segment-size 4096 -seed 11 > /dev/null
 	$(GO) test -race -count=1 -run TestCrashChaos ./internal/workload
 
 # Fuzz the recovery pipeline: arbitrary bytes through the frame decoder
-# and the full engine rebuild; neither may panic.
+# and the full engine rebuild, arbitrary multi-segment layouts through
+# the segment classifier, and arbitrary strings through the
+# segment-name parser; none may panic.
 walfuzz:
-	$(GO) test -fuzz FuzzRecoverLog -fuzztime 10s ./internal/wal
+	$(GO) test -fuzz 'FuzzRecoverLog$$' -fuzztime 10s ./internal/wal
+	$(GO) test -fuzz FuzzRecoverSegments -fuzztime 10s ./internal/wal
+	$(GO) test -fuzz FuzzParseSegmentName -fuzztime 5s ./internal/wal
 
 # Fuzz the online windowed checker: arbitrary event streams (reordered,
 # truncated, duplicated, unknown kinds) must never panic, stay
@@ -104,7 +113,7 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkCommitDurable' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_durable.txt
 	$(GO) test -run XXX -bench 'BenchmarkOnlineCheck|BenchmarkIngest' -benchtime 1s -count 3 -benchmem ./internal/onlinecheck | tee bench_check.txt
 	$(GO) run ./cmd/benchjson -o BENCH_engine.json \
-		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled). The durable set prices the WAL: latency-only (no device) vs in-memory device (encoding + CRC32C framing) vs real log file (OS write per flushed batch). The checking set prices the online isolation checker: off/traced/checked time the same commit cycle with ring consumption off-timer (traced->checked is the <=5% commit-path budget), and BenchmarkIngest reports the checker's own off-path cost per event." \
+		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled). The durable set prices the WAL: latency-only (no device) vs in-memory device (encoding + CRC32C framing) vs real log file (OS write per flushed batch); the CommitDurableMPL16 group prices group commit at 16 committers against a file device with a simulated 200us sync — baseline (one fsync per commit, the pre-coalescing loop) vs coalesced windows vs asynchronous commit vs a segment-rotated log, with commits/sync as the coalescing gauge. The checking set prices the online isolation checker: off/traced/checked time the same commit cycle with ring consumption off-timer (traced->checked is the <=5% commit-path budget), and BenchmarkIngest reports the checker's own off-path cost per event." \
 		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt durable=bench_durable.txt checking=bench_check.txt
 	rm -f bench_latest.txt bench_traced.txt bench_durable.txt bench_check.txt
 

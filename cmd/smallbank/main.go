@@ -58,7 +58,11 @@ func main() {
 		chaos        = flag.Bool("chaos", false, "arm the default fault plan and audit the standing invariants")
 		crash        = flag.Bool("crash", false, "run the crash/recover chaos harness and audit the durability contract")
 		crashCycles  = flag.Int("crash-cycles", 20, "crash/recover cycles for -crash")
+		crashAsync   = flag.Bool("crash-async", false, "-crash: asynchronous-commit mode, auditing the durable-prefix contract")
+		crashSegSize = flag.Int64("crash-segment-size", 0, "-crash: segmented log rotated at this many bytes (0 = flat device)")
 		walPath      = flag.String("wal", "", "durable log file; a non-empty file is recovered instead of loaded")
+		walAsync     = flag.Bool("wal-async", false, "asynchronous commit (synchronous_commit=off): publish before durable")
+		walSegSize   = flag.Int64("wal-segment-size", 0, "rotate the log into wal.NNNN segments at this many bytes; -wal names a directory")
 		lockTimeout  = flag.Duration("locktimeout", 0, "per-transaction lock-wait timeout (0 = wait forever)")
 		retryKind    = flag.String("retry", "immediate", "retry policy: immediate or backoff")
 		retries      = flag.Int("retries", 50, "max retries per interaction")
@@ -116,7 +120,7 @@ func main() {
 	}
 
 	if *crash {
-		runCrashChaos(engCfg.Mode, engCfg.Platform, *crashCycles, *seed)
+		runCrashChaos(engCfg.Mode, engCfg.Platform, *crashCycles, *seed, *crashAsync, *crashSegSize)
 		return
 	}
 
@@ -153,14 +157,28 @@ func main() {
 	measured := engCfg.Res
 	engCfg.Res.VirtualCPUs = 0
 
-	var dev *wal.FileDevice
+	engCfg.AsyncCommit = *walAsync
+
+	var dev wal.LogDevice
 	if *walPath != "" {
-		dev, err = wal.OpenFileDevice(*walPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "smallbank:", err)
-			os.Exit(1)
+		if *walSegSize > 0 {
+			// Segmented layout: -wal names a directory of wal.NNNN files.
+			sl, serr := wal.OpenSegmentLog(*walPath, *walSegSize)
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "smallbank:", serr)
+				os.Exit(1)
+			}
+			defer sl.Close()
+			dev = sl
+		} else {
+			fd, ferr := wal.OpenFileDevice(*walPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "smallbank:", ferr)
+				os.Exit(1)
+			}
+			defer fd.Close()
+			dev = fd
 		}
-		defer dev.Close()
 		engCfg.WAL.Device = dev
 	}
 
@@ -188,8 +206,8 @@ func main() {
 			*hotspot = *customers
 		}
 		fmt.Fprintf(os.Stderr,
-			"recovered %s: %d checkpoint rows, %d commits replayed, %d torn bytes truncated, CSN %d, %d customers\n",
-			*walPath, rep.CheckpointRows, rep.ReplayedCommits, rep.Log.TornBytes, rep.HighCSN, *customers)
+			"recovered %s: %d segments, %d checkpoint rows, %d commits replayed, %d torn bytes truncated, CSN %d, %d customers\n",
+			*walPath, rep.Log.Segments, rep.CheckpointRows, rep.ReplayedCommits, rep.Log.TornBytes, rep.HighCSN, *customers)
 	} else {
 		db = engine.Open(engCfg)
 		if err := smallbank.CreateSchema(db); err != nil {
@@ -209,6 +227,18 @@ func main() {
 		// Standard pprof endpoints plus the engine's transaction metrics
 		// as an expvar, so `curl host/debug/vars` shows live counters.
 		expvar.Publish("sicost_txn_metrics", expvar.Func(func() any { return db.TxnMetrics() }))
+		// Durability-lag gauge: how far published commits run ahead of the
+		// device (always 0 in sync mode once quiescent; the async mode's
+		// exposure window otherwise), plus the raw flush/sync counters.
+		expvar.Publish("sicost_wal", expvar.Func(func() any {
+			durable, commit := db.DurableSeq(), db.CommitSeq()
+			return map[string]any{
+				"CommitSeq":     commit,
+				"DurableSeq":    durable,
+				"DurabilityLag": commit - durable,
+				"Stats":         db.WAL().Stats(),
+			}
+		}))
 		go func() {
 			fmt.Fprintf(os.Stderr, "pprof/expvar: http://%s/debug/pprof http://%s/debug/vars\n", *pprofAddr, *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -299,9 +329,18 @@ func main() {
 	fmt.Printf("\nretries: %d (backoff time %v, give-ups %d, policy %s)\n",
 		res.Retries, res.BackoffTime.Round(time.Microsecond), res.GiveUps, policy.Name())
 
+	if *walAsync {
+		// Quiesce the async tail so the stats and the checkpoint below
+		// cover every published commit.
+		db.WAL().Drain()
+	}
 	ws := db.WAL().Stats()
-	fmt.Printf("WAL: %d flushes, %d records (avg batch %.1f), %d bytes\n",
-		ws.Flushes, ws.Records, ws.AvgBatch(), ws.Bytes)
+	fmt.Printf("WAL: %d flushes, %d syncs, %d records (avg batch %.1f, %.1f commits/sync), %d bytes\n",
+		ws.Flushes, ws.Syncs, ws.Records, ws.AvgBatch(), ws.CommitsPerSync(), ws.Bytes)
+	if *walAsync {
+		fmt.Printf("async commit: durable CSN %d / committed CSN %d after drain\n",
+			db.DurableSeq(), db.CommitSeq())
+	}
 	if dev != nil {
 		// Bound the log file so the next -wal run recovers from a compact
 		// checkpoint instead of replaying this whole run.
@@ -414,25 +453,27 @@ func main() {
 // runCrashChaos drives the crash/recover harness and prints the
 // per-cycle durability audit. Exits non-zero if any cycle violates the
 // durability contract.
-func runCrashChaos(mode core.CCMode, platform core.Platform, cycles int, seed int64) {
-	fmt.Fprintf(os.Stderr, "crash chaos: %d crash/recover cycles, mode %s, seed %d...\n", cycles, mode, seed)
+func runCrashChaos(mode core.CCMode, platform core.Platform, cycles int, seed int64, async bool, segSize int64) {
+	fmt.Fprintf(os.Stderr, "crash chaos: %d crash/recover cycles, mode %s, seed %d, async %v, segment size %d...\n",
+		cycles, mode, seed, async, segSize)
 	rep, err := workload.RunCrashChaos(workload.CrashChaosConfig{
 		Mode: mode, Platform: platform, Cycles: cycles, Seed: seed,
+		Async: async, SegmentSize: segSize,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smallbank:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%5s %-22s %6s %8s %8s %6s %8s %8s %5s\n",
-		"cycle", "crash point", "fired", "commits", "aborts", "torn", "replayed", "highCSN", "ckpt")
+	fmt.Printf("%5s %-22s %6s %8s %8s %6s %8s %8s %8s %5s %5s\n",
+		"cycle", "crash point", "fired", "commits", "aborts", "torn", "replayed", "highCSN", "durable", "segs", "ckpt")
 	for _, c := range rep.Cycles {
 		ckpt := ""
 		if c.Checkpointed {
 			ckpt = "yes"
 		}
-		fmt.Printf("%5d %-22s %6d %8d %8d %6d %8d %8d %5s\n",
+		fmt.Printf("%5d %-22s %6d %8d %8d %6d %8d %8d %8d %5d %5s\n",
 			c.Cycle, c.Point, c.Fired, c.Commits, c.Aborts,
-			c.TornBytes, c.ReplayedCommits, c.HighCSN, ckpt)
+			c.TornBytes, c.ReplayedCommits, c.HighCSN, c.DurableSeq, c.Segments, ckpt)
 	}
 	fmt.Printf("\ncrashes fired: %d/%d cycles\n", rep.CrashesFired(), len(rep.Cycles))
 	fmt.Printf("conservation: initial %d %+d committed = %d final\n",

@@ -5,14 +5,22 @@
 // torn or corrupt tail. With -repair it truncates the file to the valid
 // prefix, exactly what engine recovery would do.
 //
+// The argument may be a single log file or a directory of wal.NNNN
+// segments (the -wal-segment-size layout): a directory is validated as
+// a segmented layout — contiguous indices, no corruption in sealed
+// segments — and classified as the concatenated stream, with frames
+// allowed to straddle segment boundaries.
+//
 // Usage:
 //
 //	walinspect run.wal            # summary + torn-tail verdict
 //	walinspect -frames run.wal    # additionally dump every frame
 //	walinspect -repair run.wal    # truncate a torn tail in place
+//	walinspect waldir/            # segmented: validate + classify wal.NNNN files
+//	walinspect -repair waldir/    # truncate the torn tail across segments
 //
-// Exit status is 1 on a torn tail left unrepaired, 2 on usage or I/O
-// errors.
+// Exit status is 1 on a torn tail left unrepaired, 2 on usage, I/O or
+// segment-layout errors.
 package main
 
 import (
@@ -30,10 +38,19 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: walinspect [-frames] [-repair] <logfile>")
+		fmt.Fprintln(os.Stderr, "usage: walinspect [-frames] [-repair] <logfile|segmentdir>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	st, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "walinspect:", err)
+		os.Exit(2)
+	}
+	if st.IsDir() {
+		inspectSegments(path, *frames, *repair)
+		return
+	}
 	b, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "walinspect:", err)
@@ -47,6 +64,27 @@ func main() {
 		dumpFrames(b)
 	}
 
+	printClassification(info)
+
+	if info.TornBytes == 0 {
+		fmt.Println("tail: clean")
+		return
+	}
+	fmt.Printf("tail: TORN — %d bytes past offset %d do not decode\n", info.TornBytes, info.ValidBytes)
+	if !*repair {
+		fmt.Println("run with -repair to truncate to the valid prefix")
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, b[:info.ValidBytes], 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "walinspect: repair:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("repaired: truncated to %d bytes\n", info.ValidBytes)
+}
+
+// printClassification prints the recovery-relevant view of a classified
+// log: checkpoint, schemas, redo span and CSN high-water mark.
+func printClassification(info *wal.RecoveryInfo) {
 	if info.Checkpoint != nil {
 		rows := 0
 		for _, t := range info.Checkpoint.Tables {
@@ -65,20 +103,75 @@ func main() {
 		fmt.Println("redo: no commits beyond the checkpoint")
 	}
 	fmt.Printf("high-water CSN: %d\n", info.HighCSN)
+}
+
+// inspectSegments validates and classifies a directory of wal.NNNN
+// segments: layout errors (index gaps, duplicates, corruption inside a
+// sealed segment) are fatal; a torn tail in the LAST segment is the
+// same repairable condition as in a flat log, truncated across
+// segments with -repair.
+func inspectSegments(dir string, frames, repair bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "walinspect:", err)
+		os.Exit(2)
+	}
+	var segs []wal.SegmentData
+	var total int
+	for _, e := range entries {
+		idx, ok := wal.ParseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		b, err := os.ReadFile(dir + string(os.PathSeparator) + e.Name())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "walinspect:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: %d bytes\n", e.Name(), len(b))
+		segs = append(segs, wal.SegmentData{Index: idx, Data: b})
+		total += len(b)
+	}
+	if len(segs) == 0 {
+		fmt.Fprintf(os.Stderr, "walinspect: %s: no wal.NNNN segments\n", dir)
+		os.Exit(2)
+	}
+	info, err := wal.ClassifySegments(segs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "walinspect:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s: %d segments, %d bytes, %d valid frames in %d bytes\n",
+		dir, info.Segments, total, info.Frames, info.ValidBytes)
+	if frames {
+		var all []byte
+		for _, s := range segs {
+			all = append(all, s.Data...)
+		}
+		dumpFrames(all)
+	}
+	printClassification(info)
 
 	if info.TornBytes == 0 {
 		fmt.Println("tail: clean")
 		return
 	}
-	fmt.Printf("tail: TORN — %d bytes past offset %d do not decode\n", info.TornBytes, info.ValidBytes)
-	if !*repair {
+	fmt.Printf("tail: TORN — %d bytes past stream offset %d do not decode\n", info.TornBytes, info.ValidBytes)
+	if !repair {
 		fmt.Println("run with -repair to truncate to the valid prefix")
 		os.Exit(1)
 	}
-	if err := os.WriteFile(path, b[:info.ValidBytes], 0o644); err != nil {
+	sl, err := wal.OpenSegmentLog(dir, 1<<30)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "walinspect: repair:", err)
 		os.Exit(2)
 	}
+	if err := sl.TruncateTail(int64(info.ValidBytes)); err != nil {
+		sl.Close()
+		fmt.Fprintln(os.Stderr, "walinspect: repair:", err)
+		os.Exit(2)
+	}
+	sl.Close()
 	fmt.Printf("repaired: truncated to %d bytes\n", info.ValidBytes)
 }
 

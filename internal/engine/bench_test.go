@@ -5,8 +5,10 @@ import (
 	"math/rand"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sicost/internal/core"
 	"sicost/internal/wal"
@@ -230,6 +232,114 @@ func BenchmarkCommitDurable(b *testing.B) {
 				if err := tx.Commit(); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommitDurableMPL16 prices group commit under contention for
+// the device: 16 committers on disjoint key stripes against a real log
+// file. baseline pays one fsync per MaxBatch-sized flush group (the
+// pre-coalescing flush loop, Config.SyncEveryGroup); coalesced covers
+// every group queued during the previous fsync with ONE device sync;
+// async publishes before durability and rides the same coalesced syncs
+// off the commit path; segments adds rotation every 256KiB. The
+// commits/sync metric is the tentpole's acceptance gate: coalesced must
+// beat baseline ≥4× at this MPL.
+func BenchmarkCommitDurableMPL16(b *testing.B) {
+	const (
+		mpl    = 16
+		stripe = 64
+		rows   = mpl * stripe
+	)
+	fileDev := func(b *testing.B) wal.LogDevice {
+		dev, err := wal.OpenFileDevice(filepath.Join(b.TempDir(), "bench.wal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { dev.Close() })
+		return dev
+	}
+	segDev := func(b *testing.B) wal.LogDevice {
+		dev, err := wal.OpenSegmentLog(b.TempDir(), 256<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { dev.Close() })
+		return dev
+	}
+	for _, v := range []struct {
+		name     string
+		dev      func(b *testing.B) wal.LogDevice
+		baseline bool // one sync per flush group (pre-coalescing loop)
+		async    bool
+	}{
+		{"baseline-file", fileDev, true, false},
+		{"coalesced-file", fileDev, false, false},
+		{"async-file", fileDev, false, true},
+		{"segments-file", segDev, false, false},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			// FsyncLatency models a realistic ~200µs device sync on top of
+			// the real file I/O: tmpfs fsyncs complete in microseconds, so
+			// without it no queue forms behind the sync and every variant
+			// degenerates to one commit per window. MaxBatch 1 makes the
+			// baseline the classic fsync-per-commit loop.
+			db := Open(Config{
+				Mode: core.SnapshotFUW, Platform: core.PlatformPostgres,
+				WAL: wal.Config{
+					Device: v.dev(b), MaxBatch: 1, SyncEveryGroup: v.baseline,
+					FsyncLatency: 200 * time.Microsecond,
+				},
+				AsyncCommit: v.async,
+			})
+			b.Cleanup(db.Close)
+			if err := db.CreateTable(kvSchema("T")); err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin()
+			for k := int64(0); k < rows; k++ {
+				if err := tx.Insert("T", kv(k, k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			pre := db.WAL().Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < mpl; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Disjoint stripes: no serialization aborts pollute the
+					// durability price.
+					for i := 0; i < b.N/mpl; i++ {
+						k := int64(w*stripe + i%stripe)
+						tx := db.Begin()
+						if _, err := tx.Get("T", core.Int(k)); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := tx.Update("T", core.Int(k), kv(k, int64(i))); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			db.WAL().Drain()
+			s := db.WAL().Stats()
+			if syncs := s.Syncs - pre.Syncs; syncs > 0 {
+				b.ReportMetric(float64(s.Records-pre.Records)/float64(syncs), "commits/sync")
 			}
 		})
 	}

@@ -64,6 +64,15 @@ type Config struct {
 	Res simres.Config
 	// WAL parameterizes the simulated log device; zero disables it.
 	WAL wal.Config
+	// AsyncCommit makes Commit return as soon as the commit is
+	// published, without waiting for its WAL record to reach the platter
+	// (PostgreSQL's synchronous_commit=off). The commit is visible to
+	// other transactions immediately; durability arrives later and can
+	// be awaited via Tx.Durable or DB.WaitDurable. A crash may lose the
+	// tail of acknowledged-but-not-yet-durable commits — never a commit
+	// whose durability future has resolved. Per-transaction override:
+	// Tx.SetAsync.
+	AsyncCommit bool
 	// Cost overrides the per-strategy statement penalties; when zero,
 	// platform defaults apply (see DefaultCostModel).
 	Cost *CostModel
@@ -143,7 +152,7 @@ type DB struct {
 
 	// Commit sequencing. The old design held one RWMutex across the
 	// whole stamping loop (every snapshot blocked behind every commit);
-	// the sequencer now has two short phases. allocCSN hands out the
+	// the sequencer now has two short phases. allocCSNEnqueue hands out the
 	// next CSN under seqMu; the committer stamps its versions with no
 	// global lock held (write conflicts are already excluded per row by
 	// the sharded lock table — the stamped rows are X-locked by this
@@ -156,12 +165,14 @@ type DB struct {
 	nextCSN    uint64                   // last allocated CSN; guarded by seqMu
 	visibleCSN atomic.Uint64
 	// ckptMu is the checkpoint barrier: every updating commit holds the
-	// read side across its allocCSN→publishCSN window (WAL append
+	// read side across its allocCSNEnqueue→publishCSN window (WAL enqueue
 	// included), so Checkpoint's write side opens only when no commit is
 	// between allocation and publication. At that instant every
-	// allocated CSN is published and every published CSN is durable,
-	// which is what lets the checkpoint rewrite (truncate) the log
-	// without losing redo work.
+	// allocated CSN is published, which is what lets the checkpoint
+	// rewrite (truncate) the log without losing redo work: sync commits
+	// are durable before they publish, and an async commit's pending
+	// frame carries a CSN ≤ the cut, so the snapshot already covers it
+	// (recovery skips the late frame).
 	ckptMu sync.RWMutex
 	// seqWaits counts commits that had to wait in publishCSN for an
 	// earlier CSN to publish (commit-sequencer contention).
@@ -228,20 +239,28 @@ func Open(cfg Config) *DB {
 	return db
 }
 
-// allocCSN assigns the next commit sequence number. The critical
-// section is a counter increment; stamping happens outside it.
-func (db *DB) allocCSN() uint64 {
+// allocCSNEnqueue allocates the next CSN and enqueues the commit's WAL
+// record under the same seqMu critical section, so the log's enqueue
+// order is exactly CSN order. That invariant is what makes the WAL's
+// durability watermark a prefix property: when CSN n is durable, every
+// logged commit ≤ n is durable too (the foundation of WaitDurable and
+// of async-commit recovery losing only a tail). On enqueue failure the
+// CSN is still returned — the committer must publish it as an empty
+// slot so the publication sequence stays gapless.
+func (db *DB) allocCSNEnqueue(rec *wal.Record) (uint64, <-chan error, error) {
 	db.faults.FireDelayOnly(FaultCSNAlloc, faultinject.Ctx{})
 	db.seqMu.Lock()
 	db.nextCSN++
 	csn := db.nextCSN
+	rec.CSN = csn
+	done, err := db.log.Enqueue(rec)
 	db.seqMu.Unlock()
-	return csn
+	return csn, done, err
 }
 
 // publishCSN makes csn visible to new snapshots, in CSN order: a
 // committer whose predecessor is still stamping waits here. The wait is
-// bounded — between allocCSN and publishCSN a committer only stamps
+// bounded — between allocCSNEnqueue and publishCSN a committer only stamps
 // already-X-locked rows and index entries, never blocks on a lock — so
 // the sequencer cannot deadlock. Publication is an exact handoff, not a
 // broadcast: a committer that arrives early parks on its own channel,
@@ -276,7 +295,50 @@ func (db *DB) Close() {
 	db.closing = true
 	db.closeMu.Unlock()
 	db.inflight.Wait()
+	// Drain before Close: with async commit, acknowledged transactions
+	// may still have records in the flush queue — a graceful shutdown
+	// makes them durable instead of failing them.
+	db.log.Drain()
 	db.log.Close()
+}
+
+// WaitDurable blocks until the commit with sequence number csn is
+// durable on the log device. It returns immediately for csn 0 (a
+// read-only commit has nothing to persist) and when no log is attached
+// (every commit is trivially "as durable as it will ever get"). With a
+// broken device it returns the sticky error: the commit is visible but
+// will not survive a crash.
+func (db *DB) WaitDurable(csn uint64) error {
+	if csn == 0 || !db.log.Enabled() {
+		return nil
+	}
+	return db.log.WaitDurableCSN(csn)
+}
+
+// DurableSeq returns the newest CSN such that every commit at or below
+// it is both visible and durable. Without a log (or with no durability
+// debt outstanding) that is simply the visible high-water mark; with
+// async commits in flight it is the log's acked-durable watermark,
+// capped by visibility. CommitSeq − DurableSeq is the durability lag an
+// async workload is exposed to.
+func (db *DB) DurableSeq() uint64 {
+	visible := db.visibleCSN.Load()
+	if !db.log.Enabled() {
+		return visible
+	}
+	durable, outstanding := db.log.DurableWatermark()
+	if !outstanding && db.log.Broken() == nil {
+		// Nothing in flight and the device is healthy: every logged
+		// commit is durable, and CSNs with no record (read-only or
+		// empty slots) have nothing to lose — visible is exact. A
+		// broken log must NOT take this shortcut: its failed records
+		// resolved without ever becoming durable.
+		return visible
+	}
+	if durable < visible {
+		return durable
+	}
+	return visible
 }
 
 // LockAudit reports the lock table's outstanding grants and queued
@@ -510,6 +572,40 @@ func (db *DB) ScanLatest(table string, fn func(key core.Value, rec core.Record) 
 			continue
 		}
 		v := row.NewestCommitted()
+		if v == nil || v.Rec == nil {
+			continue
+		}
+		if !fn(k, v.Rec) {
+			break
+		}
+	}
+	return nil
+}
+
+// ScanAsOf iterates the newest record of every row of the named table
+// whose commit CSN is at or below cut, walking version chains past
+// newer commits — the state a recovery limited to the durable prefix
+// [1, cut] rebuilds. The async crash-consistency audits use it to
+// compute "published state restricted to acked-durable CSNs" from the
+// live database, without replaying the log. Like ScanLatest it bypasses
+// transactions; versions of in-flight transactions (CSN 0) are skipped.
+func (db *DB) ScanAsOf(table string, cut uint64, fn func(key core.Value, rec core.Record) bool) error {
+	t, err := db.store.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, k := range t.Keys() {
+		row := t.Row(k)
+		if row == nil {
+			continue
+		}
+		v := row.Head()
+		for v != nil {
+			if c := v.CSN(); c != 0 && c <= cut {
+				break
+			}
+			v = v.Prev
+		}
 		if v == nil || v.Rec == nil {
 			continue
 		}

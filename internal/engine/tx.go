@@ -64,8 +64,26 @@ type Tx struct {
 
 	nStmts int
 
+	// asyncOverride is the per-transaction synchronous_commit override:
+	// 0 follows Config.AsyncCommit, +1 forces async, -1 forces sync.
+	asyncOverride int8
+	// commitCSN / durable are set by an async Commit: the published CSN
+	// and the WAL's durability future for its record.
+	commitCSN uint64
+	durable   <-chan error
+
 	ssi *ssiTxn // nil unless SerializableSI
 }
+
+// closedDurable is the pre-resolved durability future handed out for
+// sync commits, read-only commits, and logless configurations: by the
+// time Commit returned, the transaction was as durable as it will ever
+// be.
+var closedDurable = func() <-chan error {
+	ch := make(chan error)
+	close(ch)
+	return ch
+}()
 
 // ID returns the transaction id.
 func (tx *Tx) ID() uint64 { return tx.id }
@@ -90,6 +108,47 @@ func (tx *Tx) SetTag(tag string) { tx.tag = tag }
 // core.ErrLockTimeout, which is retriable — the standard discipline
 // aborts and reruns the transaction.
 func (tx *Tx) SetLockWaitTimeout(d time.Duration) { tx.lockWait = d }
+
+// SetAsync overrides the database's async-commit default for this
+// transaction (PostgreSQL's per-session synchronous_commit). With async
+// on, Commit returns as soon as the commit is published; durability is
+// awaited via Durable or DB.WaitDurable.
+func (tx *Tx) SetAsync(async bool) {
+	if async {
+		tx.asyncOverride = 1
+	} else {
+		tx.asyncOverride = -1
+	}
+}
+
+// asyncCommit reports whether this transaction's Commit skips the
+// durability wait.
+func (tx *Tx) asyncCommit() bool {
+	switch tx.asyncOverride {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	return tx.db.cfg.AsyncCommit
+}
+
+// CommitCSN returns the published commit sequence number after a
+// successful updating Commit (0 for read-only commits and before
+// Commit).
+func (tx *Tx) CommitCSN() uint64 { return tx.commitCSN }
+
+// Durable returns the commit's durability future: it yields nil once
+// the commit record is on the platter, or the WAL's sticky error if the
+// device died first (the commit is visible but will not survive a
+// crash). For sync commits, read-only commits, and logless databases
+// the future is already resolved.
+func (tx *Tx) Durable() <-chan error {
+	if tx.durable != nil {
+		return tx.durable
+	}
+	return closedDurable
+}
 
 // acquire takes the row lock behind the FaultLockAcquire point and the
 // transaction's lock-wait deadline.
@@ -577,65 +636,75 @@ func (tx *Tx) Commit() error {
 				return err
 			}
 		}
+		// The wal/commit fault fires before the sequencer is touched: an
+		// ActPanic here (a session crash at the commit point) unwinds
+		// with no allocated-but-unpublished CSN and no barrier held, so
+		// nothing needs compensating.
+		if err := tx.db.log.CommitFault(tx.id); err != nil {
+			tx.abortCause = err
+			tx.Abort()
+			return err
+		}
+		// SSI precommit must precede the log enqueue: recovery replays
+		// every durable commit frame and there is no abort/compensation
+		// record, so a transaction doomed here must abort having logged
+		// nothing — a frame enqueued first could become durable and
+		// resurrect its writes after a crash. Once precommit succeeds
+		// the transaction is unabortable (a dangerous structure forming
+		// during the device wait dooms the fallback victim instead), so
+		// the frame enqueued next can never belong to an aborted
+		// transaction. An enqueue or flush failure after precommit still
+		// aborts cleanly: nothing was acknowledged durable, and
+		// ssi.abort clears the committing state.
+		if tx.ssi != nil {
+			if err := tx.db.ssi.precommit(tx); err != nil {
+				tx.traceConflict(trace.ConflictSSI, "", core.Value{})
+				tx.abortCause = err
+				tx.Abort()
+				return err
+			}
+		}
 		// Commit sequencing is two short critical sections around a
-		// lock-free middle: allocate the CSN; make the commit record
-		// durable and stamp versions and index entries (safe without a
-		// global lock — every stamped row is X-locked by this
-		// transaction, and new snapshots cannot see the CSN until it is
-		// published); then publish in CSN order. The whole window runs
-		// under the checkpoint barrier's read side, so a checkpoint
-		// never cuts between a durable commit and its publication.
+		// lock-free middle: allocate the CSN and enqueue the commit
+		// record in one step (queue order = CSN order, the durability-
+		// watermark invariant); wait for durability (sync mode); stamp
+		// versions and index entries (safe without a global lock — every
+		// stamped row is X-locked by this transaction, and new snapshots
+		// cannot see the CSN until it is published); then publish in CSN
+		// order. The whole window runs under the checkpoint barrier's
+		// read side, so a checkpoint never cuts between a durable commit
+		// and its publication.
 		//
-		// WAL before visibility: the commit record — carrying the CSN
-		// and the row after-images — must be durable before the commit
-		// publishes. The reverse order would let a later durable commit
-		// embed effects of this one while this one is lost in a crash.
-		// Group commit amortizes the device wait across concurrent
-		// committers; locks are held through it, so a blocked FUW
-		// writer waits through our fsync — exactly the PostgreSQL
-		// behaviour.
-		tx.db.ckptMu.RLock()
-		csn := tx.db.allocCSN()
+		// WAL before visibility (the default): the commit record —
+		// carrying the CSN and the row after-images — must be durable
+		// before the commit publishes. The reverse order would let a
+		// later durable commit embed effects of this one while this one
+		// is lost in a crash. Group commit coalesces the device waits of
+		// concurrent committers into shared syncs; locks are held
+		// through the wait, so a blocked FUW writer waits through our
+		// fsync — exactly the PostgreSQL behaviour.
+		//
+		// Async mode (synchronous_commit=off) skips the wait: the commit
+		// publishes immediately and the durability future resolves when
+		// the record's covering sync lands. A crash in between loses the
+		// commit even though the application saw it succeed — which is
+		// why the record is flagged Async: the WAL must brick on its
+		// failure rather than pretend the published commit never
+		// happened.
+		async := tx.asyncCommit()
 		rec := &wal.Record{
 			TxID:  tx.id,
-			CSN:   csn,
 			Bytes: logBytesPerWrite * (len(tx.writes) + len(tx.sfus)),
+			Async: async,
 		}
 		if tx.db.log.Persistent() {
 			rec.Rows = tx.rowImages()
 		}
-		err := func() (err error) {
-			// wal.FaultCommit may be armed with ActPanic (a session
-			// crash). The panic must not unwind with the empty CSN slot
-			// unpublished and the checkpoint barrier read-held — that
-			// would wedge every later committer — so release both before
-			// letting it continue to the caller's recover.
-			defer func() {
-				if r := recover(); r != nil {
-					tx.db.publishCSN(csn)
-					tx.db.ckptMu.RUnlock()
-					panic(r)
-				}
-			}()
-			// SSI precommit must precede the device write: recovery
-			// replays every durable commit frame and there is no
-			// abort/compensation record, so a transaction doomed here
-			// must abort having logged nothing — a frame written first
-			// would resurrect its writes after a crash. Once precommit
-			// succeeds the transaction is unabortable (a dangerous
-			// structure forming during the device wait dooms the
-			// fallback victim instead), so the frame logged next can
-			// never belong to an aborted transaction. A WAL failure
-			// after precommit still aborts cleanly: nothing became
-			// durable, and ssi.abort clears the committing state.
-			if tx.ssi != nil {
-				if err := tx.db.ssi.precommit(tx); err != nil {
-					tx.traceConflict(trace.ConflictSSI, "", core.Value{})
-					return err
-				}
-			}
-			return tx.db.log.Commit(rec)
-		}()
+		tx.db.ckptMu.RLock()
+		csn, done, err := tx.db.allocCSNEnqueue(rec)
+		if err == nil && !async && done != nil {
+			err = <-done
+		}
 		if err != nil {
 			// The CSN is allocated but nothing carries it: publish the
 			// empty slot so successors do not wait forever, then roll
@@ -682,6 +751,10 @@ func (tx *Tx) Commit() error {
 		// locks across an already-visible commit.
 		tx.db.faults.FireDelayOnly(FaultCSNPublish, faultinject.Ctx{Tx: tx.id})
 		info.CommitCSN = csn
+		tx.commitCSN = csn
+		if async {
+			tx.durable = done
+		}
 	} else {
 		// Read-only: logically commits at its snapshot.
 		info.CommitCSN = tx.start

@@ -46,14 +46,20 @@ func runAblationGroupCommit(cfg Config) (*Result, error) {
 		},
 	}
 	for _, variant := range []struct {
-		name     string
-		maxBatch int
+		name      string
+		maxBatch  int
+		syncEvery bool
 	}{
-		{"group-commit", 0},
-		{"no-group-commit", 1},
+		{"group-commit", 0, false},
+		// One commit per flush group AND one device sync per group:
+		// without SyncEveryGroup the coalescing flush loop would still
+		// amortize the sync across every group queued during it,
+		// silently re-enabling group commit.
+		{"no-group-commit", 1, true},
 	} {
 		engCfg := PostgresDB(cfg.Scale)
 		engCfg.WAL.MaxBatch = variant.maxBatch
+		engCfg.WAL.SyncEveryGroup = variant.syncEvery
 		cfg.logf("ablation-groupcommit: %s", variant.name)
 		s, err := runSweep(variant.name, sweepSpec{
 			strategy: smallbank.StrategySI, engCfg: engCfg,

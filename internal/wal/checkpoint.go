@@ -9,7 +9,7 @@ import (
 // committed version with csn <= cut. Tombstoned rows are simply absent.
 //
 // The caller must guarantee the cut is stable: no commit may be
-// stamping versions in the (allocCSN, publishCSN) window while the
+// stamping versions in the (allocCSNEnqueue, publishCSN) window while the
 // snapshot runs (engine.DB.Checkpoint holds the commit barrier for
 // exactly this). Versions newer than cut — uncommitted heads from
 // in-flight writers — are skipped, so concurrent reads and writes that

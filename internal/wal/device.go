@@ -11,39 +11,69 @@ import (
 // testbed puts the log on a dedicated disk with the write cache
 // disabled; here the device is either an in-memory byte log (tests and
 // the crash-chaos harness, which simulates process death and torn
-// writes) or a real file (cmd/smallbank -wal).
+// writes), a real file (cmd/smallbank -wal), or a segmented directory
+// of wal.000N files (SegmentLog).
 //
 // A device carries no framing knowledge: it stores the byte stream the
 // WAL appends. A crash may leave the final append incomplete — the
 // recovery decoder's torn-tail rule handles that.
+//
+// Append and Sync split the durability point: Append buffers bytes at
+// the tail (the OS page cache), Sync is the fdatasync-equivalent that
+// makes every prior Append durable. The flush loop exploits the split
+// to coalesce many flush groups into one device sync; nothing is
+// acknowledged to a committer until the Sync covering its append
+// returns.
 type LogDevice interface {
-	// Append adds b to the end of the log. The write is durable when
-	// Append returns; a crash mid-call may persist any prefix of b.
+	// Append adds b to the end of the log. The bytes are buffered, not
+	// yet durable: a crash before the next Sync may lose any suffix of
+	// the unsynced tail, and a crash mid-Sync may persist any prefix of
+	// it.
 	Append(b []byte) error
+	// Sync makes every byte appended so far durable. A Sync error voids
+	// the durability promise of everything since the last successful
+	// Sync (the fsyncgate lesson) — the WAL bricks itself on it.
+	Sync() error
 	// Contents returns the entire log. The returned slice must not be
 	// mutated by the caller.
 	Contents() ([]byte, error)
-	// Rewrite atomically replaces the whole log with b. Checkpoint
-	// truncation and torn-tail repair use it.
+	// Rewrite atomically replaces the whole log with b and makes the
+	// replacement durable. Checkpoint truncation and torn-tail repair
+	// use it.
 	Rewrite(b []byte) error
 	// Size returns the current log length in bytes.
 	Size() int64
 }
 
+// VolatileDevice is implemented by devices that model the synced/
+// unsynced distinction explicitly and can simulate a power failure
+// dropping the page cache. The WAL calls DropUnsynced when an injected
+// crash lands between an Append and its covering Sync, so the simulated
+// platter holds exactly what a real one would.
+type VolatileDevice interface {
+	// DropUnsynced discards every byte appended since the last Sync,
+	// returning how many were lost.
+	DropUnsynced() (int64, error)
+}
+
 // MemDevice is an in-memory LogDevice for tests and the crash-chaos
-// harness. It is safe for concurrent use.
+// harness. It is safe for concurrent use and tracks the synced prefix,
+// so DropUnsynced can simulate losing the page cache.
 type MemDevice struct {
-	mu  sync.Mutex
-	buf []byte
+	mu     sync.Mutex
+	buf    []byte
+	synced int64
 }
 
 // NewMemDevice returns an empty in-memory log device.
 func NewMemDevice() *MemDevice { return &MemDevice{} }
 
 // NewMemDeviceBytes returns an in-memory device pre-loaded with b (a
-// captured log image, e.g. the fuzz target's corpus input).
+// captured log image, e.g. the fuzz target's corpus input). The preload
+// counts as synced: a captured image is by definition on the platter.
 func NewMemDeviceBytes(b []byte) *MemDevice {
-	return &MemDevice{buf: append([]byte(nil), b...)}
+	buf := append([]byte(nil), b...)
+	return &MemDevice{buf: buf, synced: int64(len(buf))}
 }
 
 // Append implements LogDevice.
@@ -54,6 +84,23 @@ func (d *MemDevice) Append(b []byte) error {
 	return nil
 }
 
+// Sync implements LogDevice.
+func (d *MemDevice) Sync() error {
+	d.mu.Lock()
+	d.synced = int64(len(d.buf))
+	d.mu.Unlock()
+	return nil
+}
+
+// DropUnsynced implements VolatileDevice.
+func (d *MemDevice) DropUnsynced() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dropped := int64(len(d.buf)) - d.synced
+	d.buf = d.buf[:d.synced]
+	return dropped, nil
+}
+
 // Contents implements LogDevice.
 func (d *MemDevice) Contents() ([]byte, error) {
 	d.mu.Lock()
@@ -61,10 +108,11 @@ func (d *MemDevice) Contents() ([]byte, error) {
 	return append([]byte(nil), d.buf...), nil
 }
 
-// Rewrite implements LogDevice.
+// Rewrite implements LogDevice. The replacement is atomic and durable.
 func (d *MemDevice) Rewrite(b []byte) error {
 	d.mu.Lock()
 	d.buf = append(d.buf[:0:0], b...)
+	d.synced = int64(len(d.buf))
 	d.mu.Unlock()
 	return nil
 }
@@ -76,9 +124,12 @@ func (d *MemDevice) Size() int64 {
 	return int64(len(d.buf))
 }
 
-// FileDevice is a LogDevice backed by one append-only file, synced on
-// every append — the "write cache disabled" discipline of the paper's
-// log disk. cmd/smallbank -wal uses it.
+// FileDevice is a LogDevice backed by one append-only file. Append
+// writes at the tail without syncing; Sync is the fdatasync that makes
+// the tail durable — the flush loop issues one Sync per coalesced
+// window, which is the "write cache disabled" discipline of the paper's
+// log disk without paying it per flush group. cmd/smallbank -wal uses
+// it.
 type FileDevice struct {
 	mu   sync.Mutex
 	path string
@@ -100,7 +151,8 @@ func OpenFileDevice(path string) (*FileDevice, error) {
 	return &FileDevice{path: path, f: f, size: st.Size()}, nil
 }
 
-// Append implements LogDevice: write at the tail, then fsync.
+// Append implements LogDevice: write at the tail, durability deferred
+// to the next Sync.
 func (d *FileDevice) Append(b []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -109,7 +161,17 @@ func (d *FileDevice) Append(b []byte) error {
 	if err != nil {
 		return fmt.Errorf("wal: file append: %w", err)
 	}
-	return d.f.Sync()
+	return nil
+}
+
+// Sync implements LogDevice.
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("wal: file sync: %w", err)
+	}
+	return nil
 }
 
 // Contents implements LogDevice.

@@ -37,6 +37,9 @@ type RecoveryInfo struct {
 	// Repaired reports that the device was rewritten to the valid
 	// prefix, so a second recovery sees a clean log.
 	Repaired bool
+	// Segments is the number of live segments scanned (0 for a flat,
+	// unsegmented device).
+	Segments int
 }
 
 // Recover scans dev, applies the torn-tail rule, and — when a torn or
@@ -45,18 +48,105 @@ type RecoveryInfo struct {
 // performs no database reconstruction; engine.Recover layers that on
 // top.
 func Recover(dev LogDevice) (*RecoveryInfo, error) {
+	if seg, ok := dev.(Segmented); ok {
+		segs, err := seg.Segments()
+		if err != nil {
+			return nil, fmt.Errorf("wal: recover: %w", err)
+		}
+		info, err := ClassifySegments(segs)
+		if err != nil {
+			return nil, fmt.Errorf("wal: recover: %w", err)
+		}
+		if info.TornBytes > 0 {
+			if err := repairTail(dev, int64(info.ValidBytes)); err != nil {
+				return nil, fmt.Errorf("wal: recover: torn-tail repair: %w", err)
+			}
+			info.Repaired = true
+		}
+		return info, nil
+	}
 	b, err := dev.Contents()
 	if err != nil {
 		return nil, fmt.Errorf("wal: recover: %w", err)
 	}
 	info := Classify(b)
 	if info.TornBytes > 0 {
-		if err := dev.Rewrite(b[:info.ValidBytes]); err != nil {
+		if err := repairTail(dev, int64(info.ValidBytes)); err != nil {
 			return nil, fmt.Errorf("wal: recover: torn-tail repair: %w", err)
 		}
 		info.Repaired = true
 	}
 	return info, nil
+}
+
+// repairTail truncates the device to the valid prefix, preferring the
+// in-place TailTruncator (segmented logs drop tail segments and trim
+// one file) over a whole-log Rewrite.
+func repairTail(dev LogDevice, valid int64) error {
+	if tt, ok := dev.(TailTruncator); ok {
+		return tt.TruncateTail(valid)
+	}
+	b, err := dev.Contents()
+	if err != nil {
+		return err
+	}
+	return dev.Rewrite(b[:valid])
+}
+
+// ClassifySegments validates a segmented log layout and classifies the
+// concatenated stream. The layout rules are strict: segment indices
+// must be contiguous (a missing middle segment means durable history is
+// gone — that is unrecoverable corruption, not a torn tail), and a torn
+// or corrupt tail may only begin inside the final segment. A frame that
+// straddles a segment boundary is fine — recovery scans the
+// concatenation — because rotation seals segments between appends, not
+// mid-frame; a torn frame in a *sealed* segment could only come from
+// bit rot or truncation of supposedly immutable data, so it is rejected
+// rather than repaired.
+func ClassifySegments(segs []SegmentData) (*RecoveryInfo, error) {
+	if len(segs) == 0 {
+		info := Classify(nil)
+		return info, nil
+	}
+	sorted := append([]SegmentData(nil), segs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Index == sorted[i-1].Index {
+			return nil, fmt.Errorf("wal: duplicate segment %s", SegmentName(sorted[i].Index))
+		}
+		if sorted[i].Index != sorted[i-1].Index+1 {
+			return nil, fmt.Errorf("wal: segment sequence broken: %s missing (have %s and %s)",
+				SegmentName(sorted[i-1].Index+1), SegmentName(sorted[i-1].Index), SegmentName(sorted[i].Index))
+		}
+	}
+	var all []byte
+	lastStart := 0
+	for i, s := range sorted {
+		if i == len(sorted)-1 {
+			lastStart = len(all)
+		}
+		all = append(all, s.Data...)
+	}
+	info := Classify(all)
+	if info.TornBytes > 0 && info.ValidBytes < lastStart {
+		return nil, fmt.Errorf("wal: corrupt frame in sealed segment %s (valid prefix %d ends before final segment at %d)",
+			SegmentName(sorted[torn(sorted, info.ValidBytes)].Index), info.ValidBytes, lastStart)
+	}
+	info.Segments = len(sorted)
+	return info, nil
+}
+
+// torn returns the position (in sorted order) of the segment containing
+// byte offset off of the concatenation.
+func torn(sorted []SegmentData, off int) int {
+	at := 0
+	for i, s := range sorted {
+		if off < at+len(s.Data) {
+			return i
+		}
+		at += len(s.Data)
+	}
+	return len(sorted) - 1
 }
 
 // Classify scans a raw log image and organizes its valid prefix into a

@@ -8,14 +8,16 @@
 // (Config.FsyncLatency), which is all the throughput experiments need;
 // durability is real when a LogDevice is attached (Config.Device): the
 // flush loop encodes each commit record — row after-images plus CSN —
-// into CRC32-framed binary frames (codec.go) and appends the batch to
-// the device in one write. Checkpoint and schema frames share the same
-// framing, and Recover (recover.go) classifies a device image back into
-// snapshot + redo work with torn-tail truncation. Read-only
-// transactions never touch the log, which is the mechanism behind the
-// paper's §IV-D observation that strategies turning the read-only
-// Balance program into an updater pay ~20% at MPL=1 (5/5 instead of 4/5
-// of transactions must wait for the disk).
+// into CRC32-framed binary frames (codec.go), appends each flush group
+// to the device, and issues one Sync per coalesced window of groups
+// (many appends, one fdatasync). Checkpoint and schema frames share the
+// same framing, and Recover (recover.go) classifies a device image back
+// into snapshot + redo work with torn-tail truncation; segment.go adds
+// the wal.000N segmented layout. Read-only transactions never touch the
+// log, which is the mechanism behind the paper's §IV-D observation that
+// strategies turning the read-only Balance program into an updater pay
+// ~20% at MPL=1 (5/5 instead of 4/5 of transactions must wait for the
+// disk).
 package wal
 
 import (
@@ -34,27 +36,44 @@ const (
 	// enqueued (a connection to the log that dies before the write).
 	// It fires even when the device is disabled, so chaos runs against
 	// latency-free test configurations still exercise commit-path
-	// failures.
+	// failures. The engine fires it before CSN allocation, so an
+	// ActPanic here cannot wedge the sequencer.
 	FaultCommit = "wal/commit"
-	// FaultFlush fires once per device write, before any byte reaches
-	// the device; an injected error fails every commit record in that
-	// flush group without persisting it. An ActPanic spec here models
-	// the process dying mid-flush: the WAL recovers the panic, appends
-	// a torn prefix of the batch (a strict prefix of its first frame,
-	// so nothing unacknowledged becomes durable), and bricks itself —
+	// FaultFlush fires once per flush-group device write, before any
+	// byte of that group reaches the device; an injected error fails
+	// every commit record in that group without persisting it (groups
+	// already appended in the same window are unaffected, and later
+	// groups still flush). An ActPanic spec here models the process
+	// dying mid-write: the unsynced appends of earlier groups in the
+	// window are lost with the page cache, a torn prefix of the crashed
+	// group's first frame reaches the platter (so nothing
+	// unacknowledged becomes durable), and the WAL bricks itself —
 	// every later commit fails until recovery rebuilds the engine.
 	FaultFlush = "wal/flush"
+	// FaultSync fires once per coalesced window, after every group's
+	// append and before the device Sync. An injected error is a failed
+	// fsync: durability of the whole window is unknown, so the WAL
+	// bricks (the fsyncgate discipline). An ActPanic models power dying
+	// inside the coalesced-sync window: every unsynced append vanishes
+	// with the page cache and nothing in the window is acknowledged.
+	FaultSync = "wal/sync"
 )
 
 // Config parameterizes the log device.
 type Config struct {
-	// FsyncLatency is the time one device write takes. With no Device
+	// FsyncLatency is the time one device sync takes. With no Device
 	// attached, zero disables the log entirely (commits return
 	// immediately), which unit tests use.
 	FsyncLatency time.Duration
-	// MaxBatch caps the number of commit records acknowledged by a single
-	// flush; 0 means unbounded (pure group commit).
+	// MaxBatch caps the number of commit records appended by a single
+	// flush-group device write; 0 means unbounded (pure group commit).
 	MaxBatch int
+	// SyncEveryGroup restores the pre-coalescing discipline: one device
+	// Sync (and one FsyncLatency wait) per flush group. The default
+	// coalesces every group pending at the start of a flush window into
+	// one Sync — many appends, one fdatasync — which is what lets
+	// MaxBatch bound device-write sizes without multiplying syncs.
+	SyncEveryGroup bool
 	// Device, when non-nil, is the durable medium: every flush encodes
 	// its batch and appends the frames to the device before
 	// acknowledging. Nil keeps the historical latency-only simulation.
@@ -81,21 +100,33 @@ type Record struct {
 	// estimate for latency-only mode; with a device attached Commit
 	// overwrites it with the real encoded frame size.
 	Bytes int
+	// Async marks a record whose committer did not wait for durability
+	// (the commit is already published). A failure resolving an async
+	// record cannot be rolled back by aborting the transaction, so it
+	// bricks the WAL instead.
+	Async bool
 
 	enc  []byte
 	done chan error
 }
 
 // Stats aggregates device activity; used by tests and by the
-// group-commit ablation experiment. Only successful flushes count
-// toward Flushes/Records/Bytes; flushes that failed (injected error,
-// injected crash, or device error) count in FailedFlushes and
-// contribute nothing else.
+// group-commit ablation experiment. Only flush groups whose covering
+// Sync succeeded count toward Flushes/Records/Bytes; groups that failed
+// (injected error, injected crash, device error, or a failed Sync)
+// count in FailedFlushes and contribute nothing else — in particular, a
+// group rejected by an injected device error while its window's other
+// groups proceed is counted exactly once, as failed.
 type Stats struct {
+	// Flushes counts flush groups appended and covered by a successful
+	// Sync; Syncs counts the device syncs themselves. With coalescing,
+	// Flushes/Syncs > 1 is the whole point: many appends, one
+	// fdatasync.
 	Flushes int64
+	Syncs   int64
 	Records int64
 	Bytes   int64
-	// FailedFlushes counts device writes that failed; their batches
+	// FailedFlushes counts flush groups that failed; their records
 	// were rejected, not acknowledged.
 	FailedFlushes int64
 	// Checkpoints counts checkpoint frames written (each rewrites the
@@ -104,12 +135,22 @@ type Stats struct {
 }
 
 // AvgBatch returns the mean number of commit records per successful
-// device write.
+// flush group.
 func (s Stats) AvgBatch() float64 {
 	if s.Flushes == 0 {
 		return 0
 	}
 	return float64(s.Records) / float64(s.Flushes)
+}
+
+// CommitsPerSync returns the mean number of commit records made durable
+// per device sync — the coalescing win the async/segmented rework is
+// after.
+func (s Stats) CommitsPerSync() float64 {
+	if s.Syncs == 0 {
+		return 0
+	}
+	return float64(s.Records) / float64(s.Syncs)
 }
 
 // WAL is the group-commit log. The zero value is not usable; call New.
@@ -118,18 +159,30 @@ type WAL struct {
 	faults *faultinject.Registry
 	tracer *trace.Recorder
 
-	// devMu serializes all device operations (flush appends, checkpoint
-	// rewrites, schema appends) so frames never interleave mid-write.
+	// devMu serializes all device operations (flush appends and syncs,
+	// checkpoint rewrites, schema appends) so frames never interleave
+	// mid-write.
 	devMu sync.Mutex
 
 	mu      sync.Mutex
 	idle    sync.Cond // broadcast when the flush loop exits
+	durable sync.Cond // broadcast when the durability watermark moves or the WAL dies
 	pending []*Record
 	flusher bool // a flush loop is running
 	closed  bool
 	failErr error // injected fault: every subsequent flush fails with it
 	broken  error // sticky: the device died (crash or IO error); recovery required
 	stats   Stats
+
+	// Durability watermark. The engine enqueues commit records in CSN
+	// order (allocation and enqueue share the sequencer's critical
+	// section) and the flush loop resolves them in queue order, so
+	// durableCSN — the highest CSN acknowledged durable — only ever
+	// advances, and everything at or below it is durable.
+	// outstandingRecs counts enqueued, unresolved records carrying a
+	// CSN; zero means the log has no durability debt.
+	durableCSN      uint64
+	outstandingRecs int
 }
 
 // New creates a WAL. With no device and zero FsyncLatency the log is
@@ -137,26 +190,65 @@ type WAL struct {
 func New(cfg Config) *WAL {
 	w := &WAL{cfg: cfg}
 	w.idle.L = &w.mu
+	w.durable.L = &w.mu
 	return w
 }
 
-// SetFaults installs the fault registry consulted by the FaultCommit
-// and FaultFlush points (nil disables). Call before commits are in
-// flight.
-func (w *WAL) SetFaults(r *faultinject.Registry) { w.faults = r }
+// SetFaults installs the fault registry consulted by the FaultCommit,
+// FaultFlush and FaultSync points (nil disables), propagating it to a
+// device that has fault points of its own (SegmentLog's rotation).
+// Call before commits are in flight.
+func (w *WAL) SetFaults(r *faultinject.Registry) {
+	w.faults = r
+	if d, ok := w.cfg.Device.(interface {
+		SetFaults(*faultinject.Registry)
+	}); ok {
+		d.SetFaults(r)
+	}
+}
 
 // SetTracer installs the lifecycle-event recorder for EvWALCommit and
 // EvWALFlush (nil disables). Call before commits are in flight.
 func (w *WAL) SetTracer(r *trace.Recorder) { w.tracer = r }
 
-// Commit appends rec to the log and blocks until it is durable (its
-// flush group's device write completed). It returns core.ErrWALClosed
-// if the device shuts down first, the injected fault if one is set, or
-// the sticky crash error once a flush has torn the device.
+// CommitFault fires the wal/commit fault point on behalf of tx. The
+// engine calls it before CSN allocation so an ActPanic here unwinds
+// with no sequencer state to clean up.
+func (w *WAL) CommitFault(tx uint64) error {
+	return w.faults.Fire(FaultCommit, faultinject.Ctx{Tx: tx})
+}
+
+// Commit appends rec to the log and blocks until it is durable (the
+// device sync covering its flush group completed). It returns
+// core.ErrWALClosed if the device shuts down first, the injected fault
+// if one is set, or the sticky crash error once a flush has torn the
+// device.
 func (w *WAL) Commit(rec *Record) error {
-	if err := w.faults.Fire(FaultCommit, faultinject.Ctx{Tx: rec.TxID}); err != nil {
+	if err := w.CommitFault(rec.TxID); err != nil {
 		return err
 	}
+	done, err := w.Enqueue(rec)
+	if err != nil {
+		return err
+	}
+	if done == nil {
+		return nil
+	}
+	return <-done
+}
+
+// Enqueue appends rec to the flush queue without waiting for
+// durability. It returns a buffered channel that receives exactly one
+// verdict when the record's flush resolves, or (nil, nil) when the log
+// is disabled (the record is trivially "durable"), or a non-nil error
+// when the log is closed or broken and nothing was enqueued.
+//
+// The engine calls Enqueue inside the CSN-allocation critical section,
+// so queue order equals CSN order: the durable part of the log is
+// always a CSN prefix, which is what makes the durability watermark
+// (DurableWatermark, WaitDurableCSN) and async commit's
+// lose-only-the-tail recovery guarantee meaningful.
+func (w *WAL) Enqueue(rec *Record) (<-chan error, error) {
 	if w.cfg.Device != nil {
 		rec.enc = EncodeCommit(&CommitFrame{TxID: rec.TxID, CSN: rec.CSN, Rows: rec.Rows})
 		rec.Bytes = len(rec.enc)
@@ -165,19 +257,22 @@ func (w *WAL) Commit(rec *Record) error {
 		w.tracer.Emit(trace.Event{Kind: trace.EvWALCommit, Tx: rec.TxID, Bytes: rec.Bytes})
 	}
 	if !w.Enabled() {
-		return nil
+		return nil, nil
 	}
 	rec.done = make(chan error, 1)
 
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return core.ErrWALClosed
+		return nil, core.ErrWALClosed
 	}
 	if w.broken != nil {
 		err := w.broken
 		w.mu.Unlock()
-		return err
+		return nil, err
+	}
+	if rec.CSN != 0 {
+		w.outstandingRecs++
 	}
 	w.pending = append(w.pending, rec)
 	if !w.flusher {
@@ -186,7 +281,7 @@ func (w *WAL) Commit(rec *Record) error {
 	}
 	w.mu.Unlock()
 
-	return <-rec.done
+	return rec.done, nil
 }
 
 // fireFlush hits the FaultFlush point, converting an injected panic
@@ -207,9 +302,26 @@ func (w *WAL) fireFlush() (err error, crashed bool) {
 	return w.faults.Fire(FaultFlush, faultinject.Ctx{}), false
 }
 
-// flushLoop drains pending records group by group. Exactly one loop runs
-// at a time; it exits when the queue empties, so an idle log costs
-// nothing.
+// fireSync hits the FaultSync point with the same panic conversion.
+func (w *WAL) fireSync() (err error, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := faultinject.AsPanic(r)
+			if !ok {
+				panic(r)
+			}
+			err, crashed = p, true
+		}
+	}()
+	return w.faults.Fire(FaultSync, faultinject.Ctx{}), false
+}
+
+// flushLoop drains pending records window by window. Exactly one loop
+// runs at a time; it exits when the queue empties, so an idle log costs
+// nothing. In the default coalescing mode a window is everything
+// pending at loop-start — split into MaxBatch-sized append groups but
+// covered by a single Sync; with SyncEveryGroup each window is one
+// group, the pre-coalescing one-sync-per-group discipline.
 func (w *WAL) flushLoop() {
 	for {
 		w.mu.Lock()
@@ -221,83 +333,221 @@ func (w *WAL) flushLoop() {
 			w.mu.Unlock()
 			return
 		}
-		batch := w.pending
-		if w.cfg.MaxBatch > 0 && len(batch) > w.cfg.MaxBatch {
-			batch = batch[:w.cfg.MaxBatch]
+		var window []*Record
+		if w.cfg.SyncEveryGroup && w.cfg.MaxBatch > 0 && len(w.pending) > w.cfg.MaxBatch {
+			window = w.pending[:w.cfg.MaxBatch:w.cfg.MaxBatch]
 			w.pending = w.pending[w.cfg.MaxBatch:]
 		} else {
+			window = w.pending
 			w.pending = nil
 		}
-		err := w.failErr
-		if err == nil {
-			err = w.broken
+		injected := w.failErr
+		if injected == nil {
+			injected = w.broken
 		}
 		w.mu.Unlock()
 
-		var crashed bool
-		if err == nil {
-			err, crashed = w.fireFlush()
-		}
-
-		// The device write occupies the log for the configured latency.
-		// Every record in the batch shares this wait — group commit.
-		time.Sleep(w.cfg.FsyncLatency)
-
-		batchBytes := 0
-		var frames []byte
-		for _, r := range batch {
-			batchBytes += r.Bytes
-			frames = append(frames, r.enc...)
-		}
-
-		if w.cfg.Device != nil {
-			switch {
-			case crashed:
-				// Mid-flush crash: a strict prefix of the first frame
-				// reaches the platter (so no record in this batch is
-				// durable — none of them will be acknowledged) and the
-				// log is torn at that offset until recovery repairs it.
-				w.tornAppend(frames)
-			case err == nil:
-				if derr := w.devAppend(frames); derr != nil {
-					// A failed fsync means the device's durability
-					// promise is void (the fsyncgate lesson): refuse
-					// all further writes until recovery.
-					err = derr
-					w.mu.Lock()
-					w.broken = derr
-					w.mu.Unlock()
-				}
-			}
-		}
-
-		w.mu.Lock()
-		if err == nil {
-			w.stats.Flushes++
-			w.stats.Records += int64(len(batch))
-			w.stats.Bytes += int64(batchBytes)
-		} else {
-			w.stats.FailedFlushes++
-		}
-		if crashed {
-			w.broken = err
-		}
-		w.mu.Unlock()
-
-		if err == nil && w.tracer.Enabled() {
-			// Device-level event: no transaction; Depth is the group size.
-			w.tracer.Emit(trace.Event{Kind: trace.EvWALFlush, Depth: len(batch), Bytes: batchBytes})
-		}
-
-		for _, r := range batch {
-			r.done <- err
-		}
+		w.flushWindow(window, injected)
 	}
 }
 
-// devAppend writes one flush batch to the device.
+// group is one device-write unit inside a flush window.
+type group struct {
+	recs   []*Record
+	frames []byte
+	bytes  int
+}
+
+// splitGroups cuts a window into MaxBatch-sized flush groups and
+// encodes each one's frame block.
+func (w *WAL) splitGroups(window []*Record) []group {
+	var groups []group
+	for len(window) > 0 {
+		n := len(window)
+		if w.cfg.MaxBatch > 0 && n > w.cfg.MaxBatch {
+			n = w.cfg.MaxBatch
+		}
+		g := group{recs: window[:n]}
+		for _, r := range g.recs {
+			g.bytes += r.Bytes
+			g.frames = append(g.frames, r.enc...)
+		}
+		groups = append(groups, g)
+		window = window[n:]
+	}
+	return groups
+}
+
+// flushWindow appends every group of the window to the device and
+// covers them with one Sync. Group-level failures are independent: an
+// injected device error rejects exactly that group's records (counted
+// once, in FailedFlushes — never also in Flushes/Bytes) while earlier
+// appends stay covered by the window's Sync and later groups still
+// run. Crashes (injected panics) lose the window's unsynced appends,
+// leave at most a torn fragment, and brick the WAL.
+func (w *WAL) flushWindow(window []*Record, injected error) {
+	groups := w.splitGroups(window)
+
+	// The device sync occupies the log for the configured latency,
+	// once per window: every group in the window shares the wait —
+	// coalesced group commit.
+	time.Sleep(w.cfg.FsyncLatency)
+
+	if injected != nil {
+		w.mu.Lock()
+		w.stats.FailedFlushes += int64(len(groups))
+		w.mu.Unlock()
+		for _, g := range groups {
+			w.resolve(g.recs, injected)
+		}
+		return
+	}
+
+	var appended []group
+	var crashErr error
+	failFrom := len(groups) // first group index not appended due to crash
+	for gi, g := range groups {
+		err, crashed := w.fireFlush()
+		if crashed {
+			// Mid-write crash: the page cache — earlier groups' unsynced
+			// appends — is lost; a torn prefix of this group's first
+			// frame made the platter mid-write.
+			w.dropUnsynced()
+			w.tornAppend(g.frames)
+			w.brick(err)
+			crashErr, failFrom = err, gi
+			break
+		}
+		if err != nil {
+			// Injected device error for this group only: rejected before
+			// any byte reached the device; the rest of the window
+			// proceeds.
+			w.mu.Lock()
+			w.stats.FailedFlushes++
+			w.mu.Unlock()
+			w.resolve(g.recs, err)
+			continue
+		}
+		if derr := w.devAppend(g.frames); derr != nil {
+			w.brick(derr)
+			crashErr, failFrom = derr, gi
+			break
+		}
+		appended = append(appended, g)
+	}
+
+	if crashErr != nil {
+		// The crash loses every unacknowledged record of the window:
+		// the appended-but-unsynced groups and everything after the
+		// crash point.
+		w.mu.Lock()
+		w.stats.FailedFlushes += int64(len(appended) + len(groups) - failFrom)
+		w.mu.Unlock()
+		for _, g := range appended {
+			w.resolve(g.recs, crashErr)
+		}
+		for _, g := range groups[failFrom:] {
+			w.resolve(g.recs, crashErr)
+		}
+		return
+	}
+
+	if len(appended) == 0 {
+		return
+	}
+
+	serr, scrashed := w.fireSync()
+	if scrashed {
+		// Power dies inside the coalesced-sync window, before the sync
+		// reaches the device: the whole window's appends sit in the
+		// lost page cache.
+		w.dropUnsynced()
+		w.failWindow(appended, serr)
+		return
+	}
+	if serr == nil {
+		serr = w.devSync()
+	}
+	if serr != nil {
+		// Failed fsync: durability of everything since the last
+		// successful sync is unknown (fsyncgate) — brick.
+		w.failWindow(appended, serr)
+		return
+	}
+
+	w.mu.Lock()
+	w.stats.Syncs++
+	for _, g := range appended {
+		w.stats.Flushes++
+		w.stats.Records += int64(len(g.recs))
+		w.stats.Bytes += int64(g.bytes)
+	}
+	w.mu.Unlock()
+
+	if w.tracer.Enabled() {
+		// Device-level events: no transaction; Depth is the group size.
+		for _, g := range appended {
+			w.tracer.Emit(trace.Event{Kind: trace.EvWALFlush, Depth: len(g.recs), Bytes: g.bytes})
+		}
+	}
+
+	for _, g := range appended {
+		w.resolve(g.recs, nil)
+	}
+}
+
+// failWindow bricks the WAL with err and rejects every appended group.
+func (w *WAL) failWindow(appended []group, err error) {
+	w.brick(err)
+	w.mu.Lock()
+	w.stats.FailedFlushes += int64(len(appended))
+	w.mu.Unlock()
+	for _, g := range appended {
+		w.resolve(g.recs, err)
+	}
+}
+
+// resolve delivers one verdict to every record of a flush group,
+// advancing the durability watermark for successes and bricking the WAL
+// when an async (already published) record fails — that loss cannot be
+// rolled back by aborting a transaction.
+func (w *WAL) resolve(recs []*Record, err error) {
+	w.mu.Lock()
+	for _, r := range recs {
+		if r.CSN != 0 {
+			w.outstandingRecs--
+		}
+		switch {
+		case err == nil:
+			if r.CSN > w.durableCSN {
+				w.durableCSN = r.CSN
+			}
+		case r.Async:
+			if w.broken == nil {
+				w.broken = err
+			}
+		}
+	}
+	w.durable.Broadcast()
+	w.mu.Unlock()
+	for _, r := range recs {
+		r.done <- err
+	}
+}
+
+// brick marks the device dead; every later commit fails until recovery.
+func (w *WAL) brick(err error) {
+	w.mu.Lock()
+	if w.broken == nil {
+		w.broken = err
+	}
+	w.durable.Broadcast()
+	w.mu.Unlock()
+}
+
+// devAppend writes one flush group to the device.
 func (w *WAL) devAppend(frames []byte) error {
-	if len(frames) == 0 {
+	if w.cfg.Device == nil || len(frames) == 0 {
 		return nil
 	}
 	w.devMu.Lock()
@@ -305,13 +555,35 @@ func (w *WAL) devAppend(frames []byte) error {
 	return w.cfg.Device.Append(frames)
 }
 
+// devSync issues the device sync covering every append since the last.
+func (w *WAL) devSync() error {
+	if w.cfg.Device == nil {
+		return nil
+	}
+	w.devMu.Lock()
+	defer w.devMu.Unlock()
+	return w.cfg.Device.Sync()
+}
+
+// dropUnsynced simulates losing the page cache on a crash-capable
+// device; a no-op for devices without the synced/unsynced distinction.
+func (w *WAL) dropUnsynced() {
+	if vd, ok := w.cfg.Device.(VolatileDevice); ok {
+		w.devMu.Lock()
+		_, _ = vd.DropUnsynced()
+		w.devMu.Unlock()
+	}
+}
+
 // tornAppend simulates the crash-interrupted device write: a strict
-// prefix of the batch's first frame is persisted, deterministically cut
-// by the batch checksum. Keeping the cut inside the first frame
+// prefix of the group's first frame is persisted, deterministically cut
+// by the group checksum. Keeping the cut inside the first frame
 // guarantees no unacknowledged commit becomes durable, while still
-// leaving a genuinely torn tail for recovery to truncate.
+// leaving a genuinely torn tail for recovery to truncate. The fragment
+// is synced: it models bytes the platter received mid-write, not page
+// cache.
 func (w *WAL) tornAppend(frames []byte) {
-	if len(frames) == 0 {
+	if w.cfg.Device == nil || len(frames) == 0 {
 		return
 	}
 	_, first, err := DecodeFrameAt(frames, 0)
@@ -321,13 +593,59 @@ func (w *WAL) tornAppend(frames []byte) {
 	cut := int(crc32.Checksum(frames, castagnoli) % uint32(first))
 	w.devMu.Lock()
 	_ = w.cfg.Device.Append(frames[:cut])
+	_ = w.cfg.Device.Sync()
 	w.devMu.Unlock()
+}
+
+// DurableWatermark returns the highest CSN acknowledged durable and
+// whether any enqueued record is still awaiting its verdict. With no
+// durability debt outstanding, everything ever acknowledged is durable
+// and the engine's visible CSN is the better watermark.
+func (w *WAL) DurableWatermark() (csn uint64, outstanding bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durableCSN, w.outstandingRecs > 0
+}
+
+// WaitDurableCSN blocks until the commit with sequence number csn is
+// durable (nil), or the WAL dies first — broken returns the sticky
+// device error, a close before durability returns core.ErrWALClosed.
+// Because enqueue order is CSN order, csn durable implies every logged
+// commit at or below csn is durable too.
+func (w *WAL) WaitDurableCSN(csn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.durableCSN < csn && w.broken == nil && !w.closed {
+		w.durable.Wait()
+	}
+	if w.durableCSN >= csn {
+		return nil
+	}
+	if w.broken != nil {
+		return w.broken
+	}
+	return core.ErrWALClosed
+}
+
+// Drain blocks until the flush queue is empty and no flush is in
+// flight. DB.Close uses it to flush async commits before teardown; the
+// caller must guarantee no new Enqueues arrive (a broken WAL still
+// drains — its pending records fail fast).
+func (w *WAL) Drain() {
+	w.mu.Lock()
+	for w.flusher || len(w.pending) > 0 {
+		w.idle.Wait()
+	}
+	w.mu.Unlock()
 }
 
 // WriteCheckpoint truncates the log to a single checkpoint frame. The
 // caller (engine.DB.Checkpoint) must guarantee quiescence: no commit
 // may sit between CSN allocation and publication, so every durable
-// frame is covered by the snapshot and Rewrite loses nothing.
+// frame is covered by the snapshot and Rewrite loses nothing. (Async
+// records may still be in the flush queue, but the barrier guarantees
+// their CSNs are published, hence ≤ the cut: their frames land after
+// the checkpoint and recovery skips them as already covered.)
 func (w *WAL) WriteCheckpoint(c *Checkpoint) error {
 	if w.cfg.Device == nil {
 		return core.ErrWALClosed
@@ -355,13 +673,16 @@ func (w *WAL) WriteCheckpoint(c *Checkpoint) error {
 		w.stats.Bytes += int64(len(enc))
 	} else {
 		w.broken = err
+		w.durable.Broadcast()
 	}
 	w.mu.Unlock()
 	return err
 }
 
 // AppendSchema persists a DDL frame so a log without a checkpoint can
-// still rebuild table definitions. No-op without a device.
+// still rebuild table definitions. The frame is synced immediately —
+// DDL is rare and must not sit in the page cache behind a commit
+// window. No-op without a device.
 func (w *WAL) AppendSchema(s *core.Schema) error {
 	if w.cfg.Device == nil {
 		return nil
@@ -381,21 +702,26 @@ func (w *WAL) AppendSchema(s *core.Schema) error {
 	enc := EncodeSchema(s)
 	w.devMu.Lock()
 	err := w.cfg.Device.Append(enc)
+	if err == nil {
+		err = w.cfg.Device.Sync()
+	}
 	w.devMu.Unlock()
 
 	w.mu.Lock()
 	if err == nil {
 		w.stats.Bytes += int64(len(enc))
+		w.stats.Syncs++
 	} else {
 		w.broken = err
+		w.durable.Broadcast()
 	}
 	w.mu.Unlock()
 	return err
 }
 
-// InjectFailure makes every subsequent flush acknowledge its batch with
-// err (nil clears the fault). Nothing reaches the device while the
-// fault is set. Used by failure-injection tests.
+// InjectFailure makes every subsequent flush window acknowledge its
+// records with err (nil clears the fault). Nothing reaches the device
+// while the fault is set. Used by failure-injection tests.
 func (w *WAL) InjectFailure(err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -422,7 +748,9 @@ func (w *WAL) Stats() Stats {
 // core.ErrWALClosed; records already in a device write are acknowledged
 // by that flush. Close is idempotent, safe against concurrent Commit
 // and concurrent Close, and returns only once no flush goroutine is
-// running — a closed WAL has no background activity left.
+// running — a closed WAL has no background activity left. (DB.Close
+// drains the queue first, so a graceful shutdown flushes async commits
+// rather than failing them.)
 func (w *WAL) Close() {
 	w.mu.Lock()
 	w.closed = true
@@ -431,15 +759,15 @@ func (w *WAL) Close() {
 	for w.flusher {
 		w.idle.Wait()
 	}
+	w.durable.Broadcast()
 	w.mu.Unlock()
-	// The flush loop exited and Commit rejects new records once closed,
+	// The flush loop exited and Enqueue rejects new records once closed,
 	// so these drained records are exclusively ours to fail. Each
 	// record's done channel is buffered and receives exactly one
 	// verdict, so a second racing Close (which drained an empty
-	// pending slice) cannot double-send.
-	for _, r := range pending {
-		r.done <- core.ErrWALClosed
-	}
+	// pending slice) cannot double-send. resolve also pops them from
+	// the outstanding count, releasing WaitDurableCSN callers.
+	w.resolve(pending, core.ErrWALClosed)
 }
 
 // Enabled reports whether commits must wait for the log: either the

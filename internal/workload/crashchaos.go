@@ -38,6 +38,19 @@ type CrashChaosConfig struct {
 	// later cycles exercise checkpoint+redo recovery rather than pure
 	// replay (default 2; negative disables checkpoints entirely).
 	CheckpointEvery int
+	// Async opts every burst into asynchronous commit
+	// (synchronous_commit=off): commits publish before they are durable,
+	// so a crash may lose the acked-but-unsynced tail. The audit weakens
+	// accordingly — recovery must land exactly on the published state
+	// restricted to the recovered high-water mark, and no commit whose
+	// durability future resolved may be lost — and the burst switches to
+	// a zero-delta mix so money conservation holds on every committed
+	// prefix.
+	Async bool
+	// SegmentSize > 0 replaces the flat log device with a segmented log
+	// rotated at SegmentSize bytes, and adds the segment-rotation crash
+	// point to the rotation.
+	SegmentSize int64
 }
 
 func (c *CrashChaosConfig) defaults() {
@@ -78,6 +91,13 @@ type CrashCycle struct {
 	ReplayedCommits int
 	// HighCSN is the recovered commit-sequence high-water mark.
 	HighCSN uint64
+	// DurableSeq is the crashed instance's durability watermark after the
+	// burst quiesced: the highest CSN whose commit was acknowledged
+	// durable. Recovery must never land below it.
+	DurableSeq uint64
+	// Segments is the number of log segments recovery scanned (1 for a
+	// flat device).
+	Segments int
 	// Checkpointed reports whether a checkpoint was taken after this
 	// cycle's recovery.
 	Checkpointed bool
@@ -113,29 +133,52 @@ func (r *CrashChaosReport) CrashesFired() uint64 {
 	return n
 }
 
-// crashPoints are the rotation of crash sites: a torn mid-flush device
-// write, a death inside the WAL commit window, a death at the head of
-// commit stamping, a death mid-statement while holding row locks, and a
-// death at transaction begin. Together they cover the log tail in every
-// interesting state.
-var crashPoints = []string{
-	wal.FaultFlush,
-	wal.FaultCommit,
-	engine.FaultCommitStamp,
-	storage.FaultRowWrite,
-	engine.FaultBegin,
+// crashPoints is the rotation of crash sites: a torn mid-flush device
+// write, power dying inside the coalesced-sync window, a death inside
+// the WAL commit window, a death at the head of commit stamping, a
+// death mid-statement while holding row locks, and a death at
+// transaction begin. Segmented runs add a crash inside segment
+// rotation, between sealing the full segment and opening its
+// successor. Together they cover the log tail in every interesting
+// state.
+func (c *CrashChaosConfig) crashPoints() []string {
+	pts := []string{
+		wal.FaultFlush,
+		wal.FaultSync,
+		wal.FaultCommit,
+		engine.FaultCommitStamp,
+		storage.FaultRowWrite,
+		engine.FaultBegin,
+	}
+	if c.SegmentSize > 0 {
+		pts = append(pts, wal.FaultRotate)
+	}
+	return pts
 }
 
 // crashSpec picks cycle's crash site and moment: one deterministic
 // panic after a varying number of hits, so crashes land at different
 // depths of the burst.
-func crashSpec(cycle int) faultinject.Spec {
+func crashSpec(points []string, cycle int) faultinject.Spec {
 	return faultinject.Spec{
-		Point:  crashPoints[cycle%len(crashPoints)],
+		Point:  points[cycle%len(points)],
 		After:  uint64(2 + 5*(cycle%7)),
 		Count:  1,
 		Action: faultinject.ActPanic,
 	}
+}
+
+// zeroDeltaMix is the async harness's program mix: Balance and
+// Amalgamate only. Both leave total money unchanged, so conservation
+// holds on EVERY committed prefix — which is what an async crash
+// recovers. A mix with DepositChecking or TransactSaving would need
+// the exact set of surviving commits to reconstruct the ledger; a
+// zero-delta mix needs nothing.
+func zeroDeltaMix() Mix {
+	var m Mix
+	m[smallbank.Balance] = 0.3
+	m[smallbank.Amalgamate] = 0.7
+	return m
 }
 
 // smallbankTables is the audit's scan set.
@@ -156,6 +199,25 @@ func captureState(db *engine.DB) (dbState, error) {
 	for _, tbl := range smallbankTables {
 		m := make(map[core.Value]core.Record)
 		if err := db.ScanLatest(tbl, func(k core.Value, rec core.Record) bool {
+			m[k] = rec.Clone()
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		st[tbl] = m
+	}
+	return st, nil
+}
+
+// captureStateAsOf snapshots the newest committed record of every row
+// with CSN ≤ cut — the state an instance published up to that commit.
+// Safe on a closed instance: it only walks the in-memory version
+// chains.
+func captureStateAsOf(db *engine.DB, cut uint64) (dbState, error) {
+	st := make(dbState, len(smallbankTables))
+	for _, tbl := range smallbankTables {
+		m := make(map[core.Value]core.Record)
+		if err := db.ScanAsOf(tbl, cut, func(k core.Value, rec core.Record) bool {
 			m[k] = rec.Clone()
 			return true
 		}); err != nil {
@@ -212,13 +274,23 @@ func diffState(want, got dbState) string {
 func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 	cfg.defaults()
 
-	dev := wal.NewMemDevice()
+	var dev wal.LogDevice
+	if cfg.SegmentSize > 0 {
+		sl, err := wal.NewMemSegmentLog(cfg.SegmentSize)
+		if err != nil {
+			return nil, err
+		}
+		dev = sl
+	} else {
+		dev = wal.NewMemDevice()
+	}
 	reg := faultinject.New(cfg.Seed)
 	ecfg := engine.Config{
-		Mode:     cfg.Mode,
-		Platform: cfg.Platform,
-		WAL:      wal.Config{Device: dev},
-		Faults:   reg,
+		Mode:        cfg.Mode,
+		Platform:    cfg.Platform,
+		WAL:         wal.Config{Device: dev},
+		Faults:      reg,
+		AsyncCommit: cfg.Async,
 	}
 
 	db := engine.Open(ecfg)
@@ -243,20 +315,25 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
 	}
 
+	mix := ConservingMix()
+	if cfg.Async {
+		mix = zeroDeltaMix()
+	}
 	wcfg := Config{
 		MPL:         cfg.MPL,
 		Customers:   cfg.Customers,
 		HotspotSize: max(2, cfg.Customers/5),
 		HotspotProb: 0.9,
-		Mix:         ConservingMix(),
+		Mix:         mix,
 		Measure:     cfg.Burst,
 		MaxRetries:  20,
 	}
 
+	points := cfg.crashPoints()
 	var ledger int64
 	for i := 0; i < cfg.Cycles; i++ {
 		cyc := CrashCycle{Cycle: i}
-		spec := crashSpec(i)
+		spec := crashSpec(points, i)
 		cyc.Point = spec.Point
 		if err := reg.Arm(spec); err != nil {
 			db.Close()
@@ -273,14 +350,21 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 		ledger += res.CommittedDelta
 		cyc.Commits, cyc.Aborts = res.Commits, res.Aborts
 
-		// The crashed instance's acked state, captured after the burst
-		// quiesced and before the instance dies.
+		// Let in-flight flushes resolve so the durability watermark is
+		// final (a no-op when the crash already bricked the device), then
+		// capture the crashed instance's published state. In sync mode
+		// published == acked-durable; in async mode the watermark may
+		// trail the published sequence — exactly the tail a crash is
+		// allowed to lose.
+		db.WAL().Drain()
+		cyc.DurableSeq = db.DurableSeq()
 		acked, err := captureState(db)
 		if err != nil {
 			db.Close()
 			return nil, fmt.Errorf("workload: crash cycle %d: pre-crash capture: %w", i, err)
 		}
 		preSeq := db.CommitSeq()
+		crashed := db
 		db.Close()
 
 		// Pre-repair device image for the idempotence audit, taken before
@@ -300,13 +384,34 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 		cyc.CheckpointRows = rrep.CheckpointRows
 		cyc.ReplayedCommits = rrep.ReplayedCommits
 		cyc.HighCSN = rrep.HighCSN
+		cyc.Segments = rrep.Log.Segments
 
 		recovered, err := captureState(db2)
 		if err != nil {
 			db2.Close()
 			return nil, fmt.Errorf("workload: crash cycle %d: post-recovery capture: %w", i, err)
 		}
-		if d := diffState(acked, recovered); d != "" {
+		// The durability watermark is a floor in both modes: a commit
+		// whose durability was acknowledged — the sync-commit return, or
+		// the async future resolving nil — must never be lost.
+		if cyc.HighCSN < cyc.DurableSeq {
+			violatef("cycle %d (%s): acked-durable commits lost: recovered CSN %d below watermark %d",
+				i, cyc.Point, cyc.HighCSN, cyc.DurableSeq)
+		}
+		if cfg.Async {
+			// Async contract: recovery lands exactly on the published
+			// state restricted to the recovered high-water mark — the
+			// un-acked tail (CSNs above HighCSN) is the ONLY thing lost,
+			// and nothing below it is.
+			expected, err := captureStateAsOf(crashed, cyc.HighCSN)
+			if err != nil {
+				db2.Close()
+				return nil, fmt.Errorf("workload: crash cycle %d: as-of capture: %w", i, err)
+			}
+			if d := diffState(expected, recovered); d != "" {
+				violatef("cycle %d (%s): async durable-prefix contract broken: %s", i, cyc.Point, d)
+			}
+		} else if d := diffState(acked, recovered); d != "" {
 			violatef("cycle %d (%s): durability contract broken: %s", i, cyc.Point, d)
 		}
 		total, err := smallbank.TotalMoney(db2)
