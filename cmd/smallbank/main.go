@@ -16,6 +16,9 @@
 //	smallbank -retry backoff -retry-base 200us -retry-cap 20ms
 //	smallbank -trace run.jsonl             # dump the lifecycle event trace
 //	smallbank -pprof localhost:6060        # serve pprof/expvar while running
+//	smallbank -open -rate 20000            # open-system run at a fixed offered load
+//	smallbank -open -rate 20000 -admission # ... behind the adaptive admission gate
+//	smallbank -deadline 50ms               # per-transaction time budget
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"sicost/internal/admission"
 	"sicost/internal/checker"
 	"sicost/internal/core"
 	"sicost/internal/engine"
@@ -72,6 +76,15 @@ func main() {
 		retryBudget  = flag.Duration("retry-budget", 0, "backoff policy: total backoff budget per interaction (0 = unlimited)")
 		tracePath    = flag.String("trace", "", "write the transaction-lifecycle event trace to this JSONL file")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		open         = flag.Bool("open", false, "open-system driver: Poisson arrivals at -rate instead of -mpl closed loops")
+		rate         = flag.Float64("rate", 10000, "-open: offered load in arrivals per second")
+		admit        = flag.Bool("admission", false, "adaptive admission control in front of Begin (AIMD + abort-storm circuit breaker)")
+		admitLimit   = flag.Int("admission-limit", 0, "admission: initial concurrency limit (0 = controller default)")
+		admitQueue   = flag.Int("admission-queue", 0, "admission: wait-queue bound; Begins past it are shed (0 = controller default)")
+		maxInFlight  = flag.Int("max-inflight", 0, "-open: driver backstop on concurrent virtual clients (0 = driver default)")
+		txDeadline   = flag.Duration("deadline", 0, "per-transaction time budget; expiry aborts with the deadline reason (0 = none)")
+		sharedRate   = flag.Float64("retry-shared-rate", 0, "shared retry budget: tokens/sec refill across all clients (0 = no shared budget)")
+		sharedBurst  = flag.Float64("retry-shared-burst", 0, "shared retry budget: bucket capacity (default: refill rate)")
 	)
 	flag.Parse()
 
@@ -138,7 +151,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *sharedRate > 0 {
+		burst := *sharedBurst
+		if burst <= 0 {
+			burst = *sharedRate
+		}
+		policy = workload.BudgetedPolicy{Inner: policy, Budget: workload.NewRetryBudget(*sharedRate, burst)}
+	}
+
 	engCfg.LockWaitTimeout = *lockTimeout
+	if *admit {
+		acfg := admission.Config{}
+		if *admitLimit > 0 {
+			acfg.InitialLimit = *admitLimit
+		}
+		if *admitQueue > 0 {
+			acfg.MaxQueue = *admitQueue
+		}
+		engCfg.Admission = &acfg
+	}
 	var faults *faultinject.Registry
 	if *chaos {
 		faults = faultinject.New(*seed)
@@ -222,6 +253,11 @@ func main() {
 	}
 	defer db.Close()
 	db.SetResources(measured)
+	// Armed after the bulk load: the loader's big batch transactions
+	// should not burn the measured run's per-transaction budget.
+	if *txDeadline > 0 {
+		db.SetDefaultTxDeadline(*txDeadline)
+	}
 
 	if *pprofAddr != "" {
 		// Standard pprof endpoints plus the engine's transaction metrics
@@ -239,6 +275,12 @@ func main() {
 				"Stats":         db.WAL().Stats(),
 			}
 		}))
+		if lim := db.Admission(); lim != nil {
+			// Live admission gauges: concurrency limit, queue depth, shed
+			// and deadline-expired counts, breaker state (see
+			// OBSERVABILITY.md, sicost_admission).
+			expvar.Publish("sicost_admission", expvar.Func(func() any { return lim.Stats() }))
+		}
 		go func() {
 			fmt.Fprintf(os.Stderr, "pprof/expvar: http://%s/debug/pprof http://%s/debug/vars\n", *pprofAddr, *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -273,8 +315,12 @@ func main() {
 		// the balance-conservation invariant is exactly checkable.
 		mix = workload.Mix{}
 	}
-	fmt.Fprintf(os.Stderr, "running %s on %s/%s: MPL %d, hotspot %d/%d, %v+%v...\n",
-		strategy.Name, *platform, *mode, *mpl, *hotspot, *customers, *ramp, *measure)
+	if !*open {
+		fmt.Fprintf(os.Stderr, "running %s on %s/%s: MPL %d, hotspot %d/%d, %v+%v...\n",
+			strategy.Name, *platform, *mode, *mpl, *hotspot, *customers, *ramp, *measure)
+	} else {
+		fmt.Fprintf(os.Stderr, "running %s on %s/%s (open system)...\n", strategy.Name, *platform, *mode)
+	}
 
 	cfg := workload.Config{
 		Strategy: strategy, MPL: *mpl, Customers: *customers,
@@ -285,6 +331,30 @@ func main() {
 	}
 
 	rec.SetEnabled(true) // no-op when -trace is unset (nil recorder)
+
+	if *open {
+		if *chaos {
+			fmt.Fprintln(os.Stderr, "smallbank: -open and -chaos are mutually exclusive")
+			os.Exit(2)
+		}
+		runOpenSystem(db, openRun{
+			cfg: workload.OpenConfig{
+				Strategy: strategy, Rate: *rate, Customers: *customers,
+				HotspotSize: *hotspot, HotspotProb: *hotProb, Mix: mix,
+				Ramp: *ramp, Measure: *measure, Seed: *seed,
+				MaxRetries: *retries, Retry: policy,
+				MaxInFlight: *maxInFlight,
+				Check:       ochk,
+			},
+			policy:    policy,
+			rec:       rec,
+			tracePath: *tracePath,
+			offline:   chk,
+			expectSer: engCfg.Mode != core.SnapshotFUW ||
+				(strategy.GuaranteesSerializable() && strategy.SoundOn(engCfg.Platform)),
+		})
+		return
+	}
 
 	var res *workload.Result
 	var chaosRep *workload.ChaosReport
@@ -447,6 +517,104 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("invariants: all held")
+	}
+}
+
+// openRun bundles the open-system mode's configuration.
+type openRun struct {
+	cfg       workload.OpenConfig
+	policy    workload.RetryPolicy
+	rec       *trace.Recorder
+	tracePath string
+	offline   *checker.Checker
+	expectSer bool
+}
+
+// runOpenSystem drives one open-system run and prints the overload
+// accounting: goodput against offered load, shed/deadline/drop
+// attribution, response-time quantiles and the admission controller's
+// state. It exits non-zero on an admission-gate leak (a waiter or slot
+// surviving the run) or on a checker violation the configuration
+// promised could not happen — the assertions `make overload` relies on.
+func runOpenSystem(db *engine.DB, r openRun) {
+	fmt.Fprintf(os.Stderr, "open-system run: %.0f arrivals/s offered, hotspot %d/%d, %v+%v...\n",
+		r.cfg.Rate, r.cfg.HotspotSize, r.cfg.Customers, r.cfg.Ramp, r.cfg.Measure)
+
+	res, err := workload.RunOpen(db, r.cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smallbank:", err)
+		os.Exit(1)
+	}
+
+	offered := float64(res.Arrivals) / res.Measured.Seconds()
+	fmt.Printf("offered: %.1f/s (%d arrivals), goodput: %.1f TPS (%d commits, %d aborts in %v)\n",
+		offered, res.Arrivals, res.Goodput, res.Commits, res.Aborts, res.Measured)
+	fmt.Printf("overload: %d shed, %d deadline-expired, %d dropped at driver backstop, peak %d in flight\n",
+		res.Shed, res.DeadlineExpired, res.Dropped, res.InFlightPeak)
+	fmt.Printf("retries: %d, give-ups %d (%d by shared budget, policy %s)\n",
+		res.Retries, res.GiveUps, res.BudgetGiveUps, r.policy.Name())
+	if res.Latency.Count > 0 {
+		fmt.Printf("response time: mean %v, p50 %v, p95 %v, p99 %v\n",
+			res.Latency.Mean().Round(time.Microsecond),
+			res.Latency.Quantile(0.50).Round(time.Microsecond),
+			res.Latency.Quantile(0.95).Round(time.Microsecond),
+			res.Latency.Quantile(0.99).Round(time.Microsecond))
+	}
+	fmt.Println("\naborts by taxonomy reason:")
+	printed := false
+	for rr := core.AbortNone + 1; rr <= core.AbortOther; rr++ {
+		if n := res.AbortsByReason[rr]; n > 0 {
+			fmt.Printf("  %-15s %d\n", rr, n)
+			printed = true
+		}
+	}
+	if !printed {
+		fmt.Println("  (none)")
+	}
+
+	if lim := db.Admission(); lim != nil {
+		st := lim.Stats()
+		fmt.Printf("\nadmission: limit %d, breaker %s (%d trips, %d grows, %d shrinks)\n",
+			st.Gate.Limit, st.Breaker, st.Trips, st.Grows, st.Shrinks)
+		fmt.Printf("admission gate: %d admitted, %d queued (avg wait %v), %d shed, %d expired in queue\n",
+			st.Gate.Admitted, st.Gate.Queued, st.Gate.AvgWait.Round(time.Microsecond),
+			st.Gate.Shed, st.Gate.Expired)
+		// The leak assertion: after RunOpen returns, every virtual client
+		// has finished, so a held slot or queued waiter is a bug.
+		if st.Gate.InFlight != 0 || st.Gate.QueueDepth != 0 {
+			fmt.Fprintf(os.Stderr, "smallbank: admission gate leak: %d in flight, %d queued after drain\n",
+				st.Gate.InFlight, st.Gate.QueueDepth)
+			os.Exit(1)
+		}
+	}
+
+	ws := db.WAL().Stats()
+	fmt.Printf("\nWAL: %d flushes, %d syncs, %d records (avg batch %.1f), %d bytes\n",
+		ws.Flushes, ws.Syncs, ws.Records, ws.AvgBatch(), ws.Bytes)
+
+	if r.rec != nil {
+		r.rec.SetEnabled(false)
+		events := append(res.TraceEvents, r.rec.Drain()...)
+		if err := writeTrace(events, r.rec.Dropped(), r.tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "smallbank:", err)
+			os.Exit(1)
+		}
+	}
+
+	var offRep *checker.Report
+	if r.offline != nil {
+		offRep = r.offline.Analyze()
+		fmt.Printf("\nserializability: %s", offRep.Describe())
+	}
+	if res.Check != nil {
+		fmt.Printf("online check: %s", res.Check.Describe())
+		if offRep != nil && offRep.Serializable != res.Check.Serializable {
+			fmt.Fprintln(os.Stderr, "warning: online and offline checkers disagree on serializability")
+		}
+		if r.expectSer && (!res.Check.Serializable || res.Check.SIViolations != 0) {
+			fmt.Fprintln(os.Stderr, "smallbank: online checker detected isolation violations")
+			os.Exit(1)
+		}
 	}
 }
 

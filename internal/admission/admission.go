@@ -1,0 +1,229 @@
+// Package admission implements an adaptive concurrency limiter for the
+// front of the transaction engine: a token gate with a bounded FIFO
+// wait queue, load shedding, and an AIMD controller with an abort-storm
+// circuit breaker.
+//
+// The gate bounds the number of transactions *executing* concurrently
+// (the multiprogramming level the engine actually sees), independent of
+// how many clients are connected or queued. The controller moves the
+// bound: additive increase while commit latency and abort attribution
+// stay healthy, multiplicative decrease on latency inflation or
+// serialization-abort spikes, and a hard clamp (circuit breaker) when
+// an abort storm is detected, probing back up after a cooldown.
+//
+// This is the mechanism that turns the paper's peak-then-decline
+// overload curve (§IV-F) into a stable plateau: past saturation, extra
+// in-flight transactions only add data contention and wasted work, so
+// the gate holds the engine at its productive concurrency and sheds or
+// queues the rest.
+package admission
+
+import (
+	"sync"
+	"time"
+
+	"sicost/internal/core"
+)
+
+// waiter is one queued Begin. The ready channel is buffered so a
+// granter never blocks handing over the slot; the grant-vs-timeout race
+// is resolved under the gate mutex exactly like the lock table's
+// withdraw path: whoever removes the waiter from the queue decides the
+// verdict, and a waiter that finds itself already removed must consume
+// the verdict that was (or is about to be) sent.
+type waiter struct {
+	ready    chan error
+	enqueued time.Time
+}
+
+// Gate is the token gate: at most `limit` holders at once, a bounded
+// FIFO queue of waiters behind them, and shedding past the queue bound.
+// All methods are safe for concurrent use.
+type Gate struct {
+	mu       sync.Mutex
+	limit    int
+	maxQueue int
+	inflight int
+	queue    []*waiter
+	closed   bool
+
+	// Lifetime counters, guarded by mu.
+	admitted  uint64 // successful Acquires
+	queued    uint64 // Acquires that waited in the queue first
+	shed      uint64 // Acquires rejected with ErrOverload (queue full)
+	expired   uint64 // Acquires whose deadline expired while queued
+	waitNanos uint64 // total queue-wait time of admitted waiters
+}
+
+// NewGate builds a gate with the given concurrency limit and queue
+// bound. limit < 1 is raised to 1; maxQueue < 0 is treated as 0 (shed
+// immediately when the gate is full).
+func NewGate(limit, maxQueue int) *Gate {
+	if limit < 1 {
+		limit = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{limit: limit, maxQueue: maxQueue}
+}
+
+// Acquire takes an execution slot, blocking in the FIFO queue if the
+// gate is at its limit. A zero deadline means wait indefinitely (until
+// granted or the gate closes). It returns:
+//
+//   - nil: slot held; the caller must Release exactly once.
+//   - core.ErrOverload: the wait queue was full, the caller was shed.
+//   - core.ErrTxDeadline: the deadline expired while queued (or had
+//     already expired and the gate was full).
+//   - core.ErrShuttingDown: the gate closed before a slot was granted.
+func (g *Gate) Acquire(deadline time.Time) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return core.ErrShuttingDown
+	}
+	if g.inflight < g.limit && len(g.queue) == 0 {
+		g.inflight++
+		g.admitted++
+		g.mu.Unlock()
+		return nil
+	}
+	// Must queue. An already-expired deadline cannot survive any wait.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		g.expired++
+		g.mu.Unlock()
+		return core.ErrTxDeadline
+	}
+	if len(g.queue) >= g.maxQueue {
+		g.shed++
+		g.mu.Unlock()
+		return core.ErrOverload
+	}
+	w := &waiter{ready: make(chan error, 1), enqueued: time.Now()}
+	g.queue = append(g.queue, w)
+	g.queued++
+	g.mu.Unlock()
+
+	if deadline.IsZero() {
+		return <-w.ready
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case err := <-w.ready:
+		return err
+	case <-timer.C:
+		return g.withdraw(w)
+	}
+}
+
+// withdraw resolves the deadline-vs-grant race for a timed-out waiter.
+// If the waiter is still queued it is removed and loses; otherwise a
+// verdict has already been (or is being) sent and must be honoured —
+// in particular a granted slot must not leak.
+func (g *Gate) withdraw(w *waiter) error {
+	g.mu.Lock()
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.expired++
+			g.mu.Unlock()
+			return core.ErrTxDeadline
+		}
+	}
+	g.mu.Unlock()
+	return <-w.ready
+}
+
+// grantLocked hands slots to queued waiters while capacity allows.
+// Callers hold g.mu.
+func (g *Gate) grantLocked() {
+	for g.inflight < g.limit && len(g.queue) > 0 {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		g.inflight++
+		g.admitted++
+		g.waitNanos += uint64(time.Since(w.enqueued))
+		w.ready <- nil
+	}
+}
+
+// Release returns an execution slot and wakes the next waiter, if any.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	if g.inflight > 0 {
+		g.inflight--
+	}
+	g.grantLocked()
+	g.mu.Unlock()
+}
+
+// SetLimit changes the concurrency limit. Raising it grants queued
+// waiters immediately; lowering it takes effect as holders release
+// (slots already granted are never revoked).
+func (g *Gate) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	g.limit = n
+	g.grantLocked()
+	g.mu.Unlock()
+}
+
+// Limit returns the current concurrency limit.
+func (g *Gate) Limit() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.limit
+}
+
+// Close rejects all queued waiters with core.ErrShuttingDown and makes
+// every future Acquire fail the same way. Slots already held stay valid
+// until released, so in-flight transactions drain normally. Idempotent.
+func (g *Gate) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	q := g.queue
+	g.queue = nil
+	g.mu.Unlock()
+	for _, w := range q {
+		w.ready <- core.ErrShuttingDown
+	}
+}
+
+// GateStats is a point-in-time snapshot of the gate.
+type GateStats struct {
+	Limit      int           // current concurrency limit
+	InFlight   int           // slots currently held
+	QueueDepth int           // waiters currently queued
+	Admitted   uint64        // total successful Acquires
+	Queued     uint64        // Acquires that waited before admission
+	Shed       uint64        // Acquires rejected with ErrOverload
+	Expired    uint64        // deadline expiries in the queue
+	AvgWait    time.Duration // mean queue wait of admitted waiters
+}
+
+// Stats snapshots the gate counters.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := GateStats{
+		Limit:      g.limit,
+		InFlight:   g.inflight,
+		QueueDepth: len(g.queue),
+		Admitted:   g.admitted,
+		Queued:     g.queued,
+		Shed:       g.shed,
+		Expired:    g.expired,
+	}
+	if g.queued > 0 {
+		s.AvgWait = time.Duration(g.waitNanos / g.queued)
+	}
+	return s
+}

@@ -1,0 +1,339 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+func TestGateFastPath(t *testing.T) {
+	g := NewGate(2, 4)
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	s := g.Stats()
+	if s.InFlight != 2 || s.Admitted != 2 || s.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	g.Release()
+	g.Release()
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Fatalf("inflight after release = %d", s.InFlight)
+	}
+}
+
+func TestGateQueueFIFO(t *testing.T) {
+	g := NewGate(1, 8)
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := g.Acquire(time.Time{}); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			g.Release()
+		}(i)
+		// Ensure waiter i is queued before waiter i+1 starts.
+		waitFor(t, func() bool { return g.Stats().QueueDepth == i+1 })
+	}
+	g.Release()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("wake order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestGateShedsOnFullQueue(t *testing.T) {
+	g := NewGate(1, 1)
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(time.Time{}) }()
+	waitFor(t, func() bool { return g.Stats().QueueDepth == 1 })
+	// Queue full: next acquire is shed.
+	if err := g.Acquire(time.Time{}); !errors.Is(err, core.ErrOverload) {
+		t.Fatalf("overflow acquire: got %v, want ErrOverload", err)
+	}
+	if s := g.Stats(); s.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", s.Shed)
+	}
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.Release()
+}
+
+func TestGateDeadlineInQueue(t *testing.T) {
+	g := NewGate(1, 8)
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := g.Acquire(time.Now().Add(20 * time.Millisecond))
+	if !errors.Is(err, core.ErrTxDeadline) {
+		t.Fatalf("queued acquire: got %v, want ErrTxDeadline", err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("expired after %v, before the deadline", el)
+	}
+	s := g.Stats()
+	if s.Expired != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats after expiry = %+v", s)
+	}
+	// An already-expired deadline fails fast when the gate is full...
+	if err := g.Acquire(time.Now().Add(-time.Second)); !errors.Is(err, core.ErrTxDeadline) {
+		t.Fatalf("pre-expired acquire: got %v", err)
+	}
+	g.Release()
+	// ...but is still admitted on the fast path (statement layer will
+	// notice the expiry).
+	if err := g.Acquire(time.Now().Add(-time.Second)); err != nil {
+		t.Fatalf("fast-path acquire with expired deadline: %v", err)
+	}
+	g.Release()
+}
+
+// TestGateDeadlineGrantRace drives the withdraw race: grants delivered
+// at the same moment deadlines fire. Every grant must be either used or
+// impossible — a waiter that returns ErrTxDeadline must not hold a
+// slot, so inflight must drain to zero.
+func TestGateDeadlineGrantRace(t *testing.T) {
+	g := NewGate(2, 256)
+	var wg sync.WaitGroup
+	var granted, expired atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := time.Now().Add(time.Duration(i%5) * time.Millisecond)
+			err := g.Acquire(d)
+			switch {
+			case err == nil:
+				granted.Add(1)
+				time.Sleep(100 * time.Microsecond)
+				g.Release()
+			case errors.Is(err, core.ErrTxDeadline):
+				expired.Add(1)
+			default:
+				t.Errorf("acquire: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("leaked slots or waiters: %+v", s)
+	}
+	if granted.Load()+expired.Load() != 64 {
+		t.Fatalf("granted %d + expired %d != 64", granted.Load(), expired.Load())
+	}
+}
+
+func TestGateCloseWakesWaiters(t *testing.T) {
+	g := NewGate(1, 16)
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { errs <- g.Acquire(time.Time{}) }()
+	}
+	waitFor(t, func() bool { return g.Stats().QueueDepth == n })
+	g.Close()
+	for i := 0; i < n; i++ {
+		if err := <-errs; !errors.Is(err, core.ErrShuttingDown) {
+			t.Fatalf("waiter after close: got %v, want ErrShuttingDown", err)
+		}
+	}
+	if err := g.Acquire(time.Time{}); !errors.Is(err, core.ErrShuttingDown) {
+		t.Fatalf("acquire after close: got %v", err)
+	}
+	g.Close() // idempotent
+	g.Release()
+	if s := g.Stats(); s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("stats after drain = %+v", s)
+	}
+}
+
+// TestGateCloseRace races Close against a storm of acquirers and
+// releasers; run under -race this is the regression test for the
+// shutdown-drain path. No Acquire may hang and no slot may leak.
+func TestGateCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		g := NewGate(4, 32)
+		var wg sync.WaitGroup
+		for i := 0; i < 64; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var d time.Time
+				if i%3 == 0 {
+					d = time.Now().Add(time.Duration(i%7) * 100 * time.Microsecond)
+				}
+				err := g.Acquire(d)
+				if err == nil {
+					g.Release()
+					return
+				}
+				if !errors.Is(err, core.ErrShuttingDown) &&
+					!errors.Is(err, core.ErrOverload) &&
+					!errors.Is(err, core.ErrTxDeadline) {
+					t.Errorf("acquire: unexpected %v", err)
+				}
+			}(i)
+		}
+		go g.Close()
+		wg.Wait()
+		if s := g.Stats(); s.InFlight != 0 || s.QueueDepth != 0 {
+			t.Fatalf("round %d: leak: %+v", round, s)
+		}
+	}
+}
+
+func TestGateSetLimitGrantsWaiters(t *testing.T) {
+	g := NewGate(1, 8)
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() { errs <- g.Acquire(time.Time{}) }()
+	}
+	waitFor(t, func() bool { return g.Stats().QueueDepth == 3 })
+	g.SetLimit(4)
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("waiter after raise: %v", err)
+		}
+	}
+	if s := g.Stats(); s.InFlight != 4 || s.Limit != 4 {
+		t.Fatalf("stats after raise = %+v", s)
+	}
+	// Lowering never revokes held slots.
+	g.SetLimit(2)
+	if s := g.Stats(); s.InFlight != 4 || s.Limit != 2 {
+		t.Fatalf("stats after lower = %+v", s)
+	}
+	for i := 0; i < 4; i++ {
+		g.Release()
+	}
+}
+
+func TestControllerAIMD(t *testing.T) {
+	l := New(Config{InitialLimit: 8, MinLimit: 2, MaxLimit: 64})
+	healthy := Observation{Commits: 100, CommitP50: time.Millisecond, CommitP99: 2 * time.Millisecond}
+	for i := 0; i < 5; i++ {
+		l.Observe(healthy)
+	}
+	if got := l.Gate().Limit(); got != 13 {
+		t.Fatalf("limit after 5 healthy ticks = %d, want 13", got)
+	}
+	// Serialization-abort spike past AbortShrink: multiplicative decrease.
+	l.Observe(Observation{Commits: 60, StormAborts: 40, CommitP50: time.Millisecond, CommitP99: 2 * time.Millisecond})
+	if got := l.Gate().Limit(); got != 9 { // 13 * 0.7 = 9.1 -> 9
+		t.Fatalf("limit after abort spike = %d, want 9", got)
+	}
+	// Latency inflation (p99 >> inflation x floor p50): shrink too.
+	l.Observe(Observation{Commits: 100, CommitP50: 5 * time.Millisecond, CommitP99: 50 * time.Millisecond})
+	if got := l.Gate().Limit(); got != 6 { // 9 * 0.7 = 6.3 -> 6
+		t.Fatalf("limit after latency inflation = %d, want 6", got)
+	}
+	if s := l.Stats(); s.Breaker != BreakerClosed || s.Shrinks != 2 || s.Grows != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestControllerBreaker(t *testing.T) {
+	cfg := Config{InitialLimit: 32, MinLimit: 2, MaxLimit: 64,
+		Interval: 10 * time.Millisecond, Cooldown: 30 * time.Millisecond}
+	l := New(cfg)
+	storm := Observation{Commits: 20, StormAborts: 80, CommitP50: time.Millisecond, CommitP99: 2 * time.Millisecond}
+	l.Observe(storm)
+	if s := l.Stats(); s.Breaker != BreakerOpen || s.Gate.Limit != 2 || s.Trips != 1 {
+		t.Fatalf("after storm: %+v", s)
+	}
+	// Cooldown: 3 ticks at 10ms covers the 30ms hold.
+	quiet := Observation{Commits: 10, CommitP50: time.Millisecond, CommitP99: 2 * time.Millisecond}
+	for i := 0; i < 3; i++ {
+		l.Observe(quiet)
+		if s := l.Stats(); s.Breaker == BreakerProbing {
+			break
+		}
+	}
+	if s := l.Stats(); s.Breaker != BreakerProbing {
+		t.Fatalf("breaker after cooldown = %v, want probing", s.Breaker)
+	}
+	// Healthy probing ticks grow the limit and eventually re-close.
+	for i := 0; i < 3; i++ {
+		l.Observe(quiet)
+	}
+	s := l.Stats()
+	if s.Breaker != BreakerClosed {
+		t.Fatalf("breaker after healthy probes = %v, want closed", s.Breaker)
+	}
+	if s.Gate.Limit <= 2 {
+		t.Fatalf("limit did not probe up: %d", s.Gate.Limit)
+	}
+	// A storm during probing re-trips immediately.
+	l.Observe(storm)
+	l.Observe(quiet) // cooldown tick
+	l.Observe(quiet)
+	l.Observe(quiet) // now probing
+	l.Observe(storm)
+	if s := l.Stats(); s.Breaker != BreakerOpen || s.Trips != 3 {
+		t.Fatalf("probing re-trip: %+v", s)
+	}
+}
+
+func TestControllerIdleTicks(t *testing.T) {
+	l := New(Config{InitialLimit: 8, Interval: 10 * time.Millisecond, Cooldown: 20 * time.Millisecond})
+	before := l.Gate().Limit()
+	l.Observe(Observation{}) // idle: no change
+	if got := l.Gate().Limit(); got != before {
+		t.Fatalf("idle tick moved limit: %d -> %d", before, got)
+	}
+	// Idle ticks still cool an open breaker.
+	l.Observe(Observation{Commits: 1, StormAborts: 99})
+	if l.Stats().Breaker != BreakerOpen {
+		t.Fatal("storm did not trip breaker")
+	}
+	l.Observe(Observation{})
+	l.Observe(Observation{})
+	if got := l.Stats().Breaker; got != BreakerProbing {
+		t.Fatalf("breaker after idle cooldown = %v, want probing", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 2s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,311 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker mode of the controller.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed: normal AIMD operation.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: an abort storm tripped the breaker; the limit is
+	// clamped to MinLimit for the cooldown period.
+	BreakerOpen
+	// BreakerProbing: cooldown elapsed; the limit grows additively
+	// again but re-trips on the first unhealthy tick, and the breaker
+	// only re-closes after several consecutive healthy ticks.
+	BreakerProbing
+)
+
+// String names the breaker state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerProbing:
+		return "probing"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the limiter. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// InitialLimit is the starting concurrency limit (default 8).
+	InitialLimit int
+	// MinLimit is the floor the limit never drops below and the clamp
+	// value while the breaker is open (default 2).
+	MinLimit int
+	// MaxLimit caps additive growth (default 1024).
+	MaxLimit int
+	// MaxQueue bounds the admission wait queue; Begins past it are
+	// shed with core.ErrOverload (default 4 × MaxLimit).
+	MaxQueue int
+	// Interval is the controller tick period (default 20ms).
+	Interval time.Duration
+	// LatencyTarget, when set, is an absolute commit-p99 ceiling: a
+	// tick with p99 above it is unhealthy. When zero the controller
+	// uses a gradient instead: the lowest commit p50 ever observed is
+	// the no-queueing floor, and p99 > LatencyInflation × floor is
+	// unhealthy.
+	LatencyTarget time.Duration
+	// LatencyInflation is the gradient multiplier (default 8).
+	LatencyInflation float64
+	// AbortShrink is the storm-abort fraction (serialization +
+	// deadlock + lock-timeout aborts over attempts) at which the limit
+	// shrinks multiplicatively (default 0.30).
+	AbortShrink float64
+	// AbortBreak is the fraction that trips the circuit breaker
+	// (default 0.60).
+	AbortBreak float64
+	// Cooldown is how long the breaker stays open before probing
+	// (default 10 × Interval).
+	Cooldown time.Duration
+	// Step is the additive increase per healthy tick (default 1).
+	Step int
+	// Beta is the multiplicative-decrease factor (default 0.7).
+	Beta float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.InitialLimit <= 0 {
+		c.InitialLimit = 8
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 2
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 1024
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.InitialLimit < c.MinLimit {
+		c.InitialLimit = c.MinLimit
+	}
+	if c.InitialLimit > c.MaxLimit {
+		c.InitialLimit = c.MaxLimit
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxLimit
+	}
+	if c.Interval <= 0 {
+		c.Interval = 20 * time.Millisecond
+	}
+	if c.LatencyInflation <= 1 {
+		c.LatencyInflation = 8
+	}
+	if c.AbortShrink <= 0 || c.AbortShrink > 1 {
+		c.AbortShrink = 0.30
+	}
+	if c.AbortBreak <= 0 || c.AbortBreak > 1 {
+		c.AbortBreak = 0.60
+	}
+	if c.AbortBreak < c.AbortShrink {
+		c.AbortBreak = c.AbortShrink
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * c.Interval
+	}
+	if c.Step <= 0 {
+		c.Step = 1
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		c.Beta = 0.7
+	}
+	return c
+}
+
+// Observation is one controller tick's view of the engine, computed
+// from metrics.TxnMetrics deltas between ticks.
+type Observation struct {
+	// Commits in the interval.
+	Commits uint64
+	// StormAborts are the concurrency-failure aborts that feed
+	// retry storms: serialization (FUW + SSI), deadlock, lock-timeout.
+	StormAborts uint64
+	// CommitP50 and CommitP99 are commit-latency quantiles over the
+	// interval's committed updaters (zero when no sample).
+	CommitP50, CommitP99 time.Duration
+}
+
+// Limiter bundles the gate with its AIMD controller. Acquire/Release
+// are the hot path; Observe is called periodically (by the engine's
+// admission loop) with fresh metrics deltas.
+type Limiter struct {
+	cfg  Config
+	gate *Gate
+
+	mu           sync.Mutex
+	state        BreakerState
+	floorP50     time.Duration // lowest commit p50 seen: no-queueing latency floor
+	cooldownLeft time.Duration
+	healthyTicks int // consecutive healthy probing ticks
+	trips        uint64
+	shrinks      uint64
+	grows        uint64
+}
+
+// New builds a limiter from cfg (zero fields defaulted).
+func New(cfg Config) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{
+		cfg:  cfg,
+		gate: NewGate(cfg.InitialLimit, cfg.MaxQueue),
+	}
+}
+
+// Gate exposes the underlying token gate.
+func (l *Limiter) Gate() *Gate { return l.gate }
+
+// Acquire forwards to the gate.
+func (l *Limiter) Acquire(deadline time.Time) error { return l.gate.Acquire(deadline) }
+
+// Release forwards to the gate.
+func (l *Limiter) Release() { l.gate.Release() }
+
+// Close forwards to the gate, waking all queued waiters with
+// core.ErrShuttingDown.
+func (l *Limiter) Close() { l.gate.Close() }
+
+// Interval returns the configured controller tick period.
+func (l *Limiter) Interval() time.Duration { return l.cfg.Interval }
+
+// Observe runs one controller tick against the observation and adjusts
+// the gate limit.
+func (l *Limiter) Observe(obs Observation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Track the latency floor from quiet, healthy intervals.
+	if obs.CommitP50 > 0 && (l.floorP50 == 0 || obs.CommitP50 < l.floorP50) {
+		l.floorP50 = obs.CommitP50
+	}
+
+	attempts := obs.Commits + obs.StormAborts
+	if attempts == 0 {
+		// Idle interval: nothing to learn. An open breaker still cools
+		// down so an idle system doesn't stay clamped forever.
+		if l.state == BreakerOpen {
+			l.cool()
+		}
+		return
+	}
+	abortRate := float64(obs.StormAborts) / float64(attempts)
+
+	latencyBad := false
+	if obs.CommitP99 > 0 {
+		if l.cfg.LatencyTarget > 0 {
+			latencyBad = obs.CommitP99 > l.cfg.LatencyTarget
+		} else if l.floorP50 > 0 {
+			latencyBad = float64(obs.CommitP99) > l.cfg.LatencyInflation*float64(l.floorP50)
+		}
+	}
+
+	switch l.state {
+	case BreakerOpen:
+		l.cool()
+	case BreakerProbing:
+		if abortRate >= l.cfg.AbortBreak {
+			l.trip()
+			return
+		}
+		if abortRate >= l.cfg.AbortShrink || latencyBad {
+			l.healthyTicks = 0
+			l.shrink()
+			return
+		}
+		l.healthyTicks++
+		l.grow()
+		if l.healthyTicks >= 3 {
+			l.state = BreakerClosed
+		}
+	case BreakerClosed:
+		if abortRate >= l.cfg.AbortBreak {
+			l.trip()
+			return
+		}
+		if abortRate >= l.cfg.AbortShrink || latencyBad {
+			l.shrink()
+			return
+		}
+		l.grow()
+	}
+}
+
+// cool advances the open breaker toward probing. Called under l.mu.
+func (l *Limiter) cool() {
+	l.cooldownLeft -= l.cfg.Interval
+	if l.cooldownLeft <= 0 {
+		l.state = BreakerProbing
+		l.healthyTicks = 0
+	}
+}
+
+// trip opens the breaker and clamps the limit. Called under l.mu.
+func (l *Limiter) trip() {
+	l.state = BreakerOpen
+	l.cooldownLeft = l.cfg.Cooldown
+	l.trips++
+	l.gate.SetLimit(l.cfg.MinLimit)
+}
+
+// shrink applies the multiplicative decrease. Called under l.mu.
+func (l *Limiter) shrink() {
+	cur := l.gate.Limit()
+	next := int(float64(cur) * l.cfg.Beta)
+	if next < l.cfg.MinLimit {
+		next = l.cfg.MinLimit
+	}
+	if next != cur {
+		l.shrinks++
+		l.gate.SetLimit(next)
+	}
+}
+
+// grow applies the additive increase. Called under l.mu.
+func (l *Limiter) grow() {
+	cur := l.gate.Limit()
+	next := cur + l.cfg.Step
+	if next > l.cfg.MaxLimit {
+		next = l.cfg.MaxLimit
+	}
+	if next != cur {
+		l.grows++
+		l.gate.SetLimit(next)
+	}
+}
+
+// Stats is a snapshot of the limiter: gate counters plus controller
+// state, suitable for the sicost_admission expvar.
+type Stats struct {
+	Gate     GateStats
+	Breaker  BreakerState
+	FloorP50 time.Duration // learned no-queueing commit p50 floor
+	Trips    uint64        // breaker openings
+	Shrinks  uint64        // multiplicative decreases
+	Grows    uint64        // additive increases
+}
+
+// Stats snapshots the limiter.
+func (l *Limiter) Stats() Stats {
+	l.mu.Lock()
+	s := Stats{
+		Breaker:  l.state,
+		FloorP50: l.floorP50,
+		Trips:    l.trips,
+		Shrinks:  l.shrinks,
+		Grows:    l.grows,
+	}
+	l.mu.Unlock()
+	s.Gate = l.gate.Stats()
+	return s
+}

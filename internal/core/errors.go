@@ -26,6 +26,20 @@ var (
 	// Retriable: the whole transaction reruns, like a deadlock victim.
 	ErrLockTimeout = errors.New("engine: lock wait timeout exceeded")
 
+	// ErrOverload is returned by Begin when the admission gate's wait
+	// queue is full and the transaction is shed rather than queued.
+	// Retriable: the condition is transient — clients should back off
+	// (ideally against a shared retry budget) and resubmit.
+	ErrOverload = errors.New("engine: overloaded, transaction shed by admission control")
+
+	// ErrTxDeadline is returned when a transaction's deadline expires —
+	// in the admission queue, during a lock wait, between statements, or
+	// while waiting for its WAL flush group. Not retriable by default:
+	// the interaction's time budget is spent, so rerunning against an
+	// already-expired deadline cannot succeed. Callers that set a fresh
+	// deadline per attempt may retry explicitly.
+	ErrTxDeadline = errors.New("engine: transaction deadline exceeded")
+
 	// ErrShuttingDown is returned by Begin (and every statement of the
 	// rejected handle) once DB.Close has started draining. Not
 	// retriable: clients should stop submitting work.
@@ -60,7 +74,7 @@ var (
 // whole transaction".
 func IsRetriable(err error) bool {
 	return errors.Is(err, ErrSerialization) || errors.Is(err, ErrDeadlock) ||
-		errors.Is(err, ErrLockTimeout)
+		errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrOverload)
 }
 
 // AbortReason classifies why a transaction attempt did not commit; the
@@ -74,9 +88,19 @@ const (
 	AbortSerialization
 	AbortDeadlock
 	AbortLockTimeout
+	// AbortDeadline: the transaction's deadline expired (admission
+	// queue, lock wait, statement, or WAL flush-group wait).
+	AbortDeadline
+	// AbortOverload: the admission gate shed the transaction because
+	// its wait queue was full.
+	AbortOverload
 	AbortApplication
 	AbortWAL
 	AbortInjected
+	// AbortOther must stay last: metrics counters and the trace
+	// validator size and bound their reason tables by it. New classes
+	// go above. In-memory renumbering is safe — the JSONL trace wire
+	// format carries reason *names*, not ordinals.
 	AbortOther
 )
 
@@ -91,6 +115,10 @@ func (a AbortReason) String() string {
 		return "deadlock"
 	case AbortLockTimeout:
 		return "lock-timeout"
+	case AbortDeadline:
+		return "deadline"
+	case AbortOverload:
+		return "overload"
 	case AbortApplication:
 		return "application"
 	case AbortWAL:
@@ -117,6 +145,10 @@ func ClassifyAbort(err error) AbortReason {
 		return AbortDeadlock
 	case errors.Is(err, ErrLockTimeout):
 		return AbortLockTimeout
+	case errors.Is(err, ErrTxDeadline):
+		return AbortDeadline
+	case errors.Is(err, ErrOverload):
+		return AbortOverload
 	case errors.Is(err, ErrRollback):
 		return AbortApplication
 	case errors.Is(err, ErrInjected):

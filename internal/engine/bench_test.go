@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"sicost/internal/admission"
 	"sicost/internal/core"
 	"sicost/internal/wal"
 )
@@ -372,4 +373,50 @@ func BenchmarkCommitReadOnly(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBeginAdmitted prices the admission gate on the transaction
+// cycle. The off case is the acceptance budget: a database without
+// Config.Admission must pay nothing new at Begin (the gate pointer is
+// nil, one branch). The on case measures the uncontended fast path — an
+// atomic-free mutex acquire/release pair per Begin/endTx with the limit
+// never reached — plus the controller ticking in the background.
+func BenchmarkBeginAdmitted(b *testing.B) {
+	run := func(b *testing.B, adm *admission.Config) {
+		const rows = 1024
+		db := Open(Config{Mode: core.SnapshotFUW, Platform: core.PlatformPostgres, Admission: adm})
+		b.Cleanup(db.Close)
+		if err := db.CreateTable(kvSchema("T")); err != nil {
+			b.Fatal(err)
+		}
+		tx := db.Begin()
+		for k := int64(0); k < rows; k++ {
+			if err := tx.Insert("T", kv(k, k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := int64(i) % rows
+			tx := db.Begin()
+			if _, err := tx.Get("T", core.Int(k)); err != nil {
+				b.Fatal(err)
+			}
+			wk := (k + 1) % rows
+			if err := tx.Update("T", core.Int(wk), kv(wk, int64(i))); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		run(b, &admission.Config{InitialLimit: 64, MinLimit: 64, MaxLimit: 64})
+	})
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sicost/internal/admission"
 	"sicost/internal/core"
 	"sicost/internal/faultinject"
 	"sicost/internal/metrics"
@@ -81,6 +82,22 @@ type Config struct {
 	// forever. Transactions can override per-handle with
 	// Tx.SetLockWaitTimeout.
 	LockWaitTimeout time.Duration
+	// Admission, when non-nil, puts an adaptive concurrency gate in
+	// front of Begin: at most limit transactions execute at once, up
+	// to MaxQueue more wait FIFO, and the rest are shed with
+	// core.ErrOverload. An AIMD controller moves the limit from
+	// commit-latency and abort-attribution deltas; enabling admission
+	// therefore also enables commit-latency metering (two clock reads
+	// per updating commit — see SetMetricsEnabled).
+	Admission *admission.Config
+	// DefaultTxDeadline, when positive, stamps every transaction with
+	// deadline = Begin time + DefaultTxDeadline. The deadline is
+	// honoured in the admission queue, between statements, in lock
+	// waits (bounding them alongside LockWaitTimeout) and in the
+	// sync-commit WAL flush-group wait; expiry fails the transaction
+	// with core.ErrTxDeadline (classified AbortDeadline). Transactions
+	// can override per-handle with Tx.SetDeadline.
+	DefaultTxDeadline time.Duration
 	// Faults is the fault-injection registry consulted by the engine,
 	// storage and WAL fault points; nil (the default) compiles every
 	// hook down to a pointer test.
@@ -190,6 +207,21 @@ type DB struct {
 	closing  bool
 	inflight sync.WaitGroup
 
+	// gate is the admission limiter (nil when Config.Admission is nil).
+	// Begin acquires a slot before registering with the shutdown drain;
+	// endTx releases it. Close closes the gate first, so every queued
+	// Begin wakes with ErrShuttingDown before the drain waits.
+	gate    *admission.Limiter
+	admStop chan struct{}
+	admDone chan struct{}
+	admOnce sync.Once
+
+	// defaultDeadline is Config.DefaultTxDeadline as live state
+	// (nanoseconds), so SetDefaultTxDeadline can arm or disarm the
+	// per-transaction budget on a running database — e.g. load without
+	// deadlines, then measure with them.
+	defaultDeadline atomic.Int64
+
 	obsMu    sync.Mutex
 	observer Observer
 
@@ -236,8 +268,52 @@ func Open(cfg Config) *DB {
 	if cfg.Mode == core.SerializableSI {
 		db.ssi = newSSIState()
 	}
+	db.defaultDeadline.Store(int64(cfg.DefaultTxDeadline))
+	if cfg.Admission != nil {
+		db.gate = admission.New(*cfg.Admission)
+		// The controller steers by commit latency; metering must be on.
+		db.meterCommitLatency.Store(true)
+		db.admStop = make(chan struct{})
+		db.admDone = make(chan struct{})
+		go db.admissionLoop()
+	}
 	return db
 }
+
+// admissionLoop is the controller tick: every limiter interval it feeds
+// the AIMD controller the metrics delta since the previous tick —
+// commits, storm aborts (serialization + deadlock + lock-timeout, the
+// classes that feed retry storms) and the commit-latency quantiles.
+func (db *DB) admissionLoop() {
+	defer close(db.admDone)
+	prev := db.txnMetrics.Snapshot()
+	t := time.NewTicker(db.gate.Interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-db.admStop:
+			return
+		case <-t.C:
+			cur := db.txnMetrics.Snapshot()
+			d := cur.Delta(prev)
+			prev = cur
+			lat := d.CommitLatency
+			db.gate.Observe(admission.Observation{
+				Commits: d.Commits,
+				StormAborts: d.Aborts[core.AbortSerialization] +
+					d.Aborts[core.AbortDeadlock] +
+					d.Aborts[core.AbortLockTimeout],
+				CommitP50: lat.Quantile(0.50),
+				CommitP99: lat.Quantile(0.99),
+			})
+		}
+	}
+}
+
+// Admission returns the admission limiter, nil when admission control
+// is disabled. The cmd layer publishes its Stats as the
+// sicost_admission expvar.
+func (db *DB) Admission() *admission.Limiter { return db.gate }
 
 // allocCSNEnqueue allocates the next CSN and enqueues the commit's WAL
 // record under the same seqMu critical section, so the log's enqueue
@@ -294,6 +370,16 @@ func (db *DB) Close() {
 	db.closeMu.Lock()
 	db.closing = true
 	db.closeMu.Unlock()
+	if db.gate != nil {
+		// Wake every queued Begin with ErrShuttingDown before waiting
+		// on the drain: queued waiters are not registered in-flight, so
+		// without this they would hang forever (and with it, none can
+		// slip past — a waiter granted concurrently with Close loses to
+		// the closing flag above and releases its slot).
+		db.gate.Close()
+		db.admOnce.Do(func() { close(db.admStop) })
+		<-db.admDone
+	}
 	db.inflight.Wait()
 	// Drain before Close: with async commit, acknowledged transactions
 	// may still have records in the flush queue — a graceful shutdown
@@ -315,26 +401,24 @@ func (db *DB) WaitDurable(csn uint64) error {
 	return db.log.WaitDurableCSN(csn)
 }
 
-// DurableSeq returns the newest CSN such that every commit at or below
-// it is both visible and durable. Without a log (or with no durability
-// debt outstanding) that is simply the visible high-water mark; with
-// async commits in flight it is the log's acked-durable watermark,
-// capped by visibility. CommitSeq − DurableSeq is the durability lag an
-// async workload is exposed to.
+// DurableSeq returns the newest CSN such that every acked commit at or
+// below it is both visible and durable. Without a log that is simply
+// the visible high-water mark; otherwise it is the log's acked-durable
+// watermark capped by visibility. The cap matters in both directions: a
+// sync commit is durable before it publishes (durable briefly leads
+// visible), while an async commit publishes before its flush lands
+// (visible leads durable — the durability lag CommitSeq − DurableSeq
+// measures). Visible alone is never a safe answer while the log is
+// enabled: a CSN published as an empty slot — a commit withdrawn from
+// the flush queue at its deadline, or torn off by an enqueue failure —
+// was never acknowledged and never reaches the device, so the visible
+// mark can overshoot what recovery is able to find.
 func (db *DB) DurableSeq() uint64 {
 	visible := db.visibleCSN.Load()
 	if !db.log.Enabled() {
 		return visible
 	}
-	durable, outstanding := db.log.DurableWatermark()
-	if !outstanding && db.log.Broken() == nil {
-		// Nothing in flight and the device is healthy: every logged
-		// commit is durable, and CSNs with no record (read-only or
-		// empty slots) have nothing to lose — visible is exact. A
-		// broken log must NOT take this shortcut: its failed records
-		// resolved without ever becoming durable.
-		return visible
-	}
+	durable, _ := db.log.DurableWatermark()
 	if durable < visible {
 		return durable
 	}
@@ -500,6 +584,11 @@ func (db *DB) TxnMetrics() metrics.TxnSnapshot { return db.txnMetrics.Snapshot()
 // always on: they only touch cold paths.
 func (db *DB) SetMetricsEnabled(on bool) { db.meterCommitLatency.Store(on) }
 
+// SetDefaultTxDeadline changes the per-transaction time budget stamped
+// on every future Begin (0 disarms it). In-flight transactions keep the
+// deadline they began with.
+func (db *DB) SetDefaultTxDeadline(d time.Duration) { db.defaultDeadline.Store(int64(d)) }
+
 // Begin starts a transaction. The returned Tx must be finished with
 // Commit or Abort; it is not safe for concurrent use by multiple
 // goroutines (like a SQL session).
@@ -509,9 +598,31 @@ func (db *DB) Begin() *Tx {
 	// behind.
 	beginErr := db.faults.Fire(FaultBegin, faultinject.Ctx{})
 
+	var deadline time.Time
+	if d := time.Duration(db.defaultDeadline.Load()); d > 0 {
+		deadline = time.Now().Add(d)
+	}
+
+	// The admission gate sits before shutdown registration: a queued
+	// Begin holds no engine resources, and Close wakes the whole queue
+	// with ErrShuttingDown before draining registered transactions.
+	admitted := false
+	if db.gate != nil {
+		if aerr := db.gate.Acquire(deadline); aerr != nil {
+			// Rejected handle: shed (ErrOverload), expired
+			// (ErrTxDeadline) or shutdown. Every statement and the
+			// commit return the error; Abort is a cheap cleanup.
+			return &Tx{db: db, failedErr: aerr}
+		}
+		admitted = true
+	}
+
 	db.closeMu.Lock()
 	if db.closing {
 		db.closeMu.Unlock()
+		if admitted {
+			db.gate.Release()
+		}
 		// Rejected handle: every statement and the commit return
 		// ErrShuttingDown; Abort is a cheap no-op-ish cleanup.
 		return &Tx{db: db, failedErr: core.ErrShuttingDown}
@@ -534,7 +645,9 @@ func (db *DB) Begin() *Tx {
 		id:       db.nextTxID.Add(1),
 		start:    start,
 		reg:      true,
+		admitted: admitted,
 		lockWait: db.cfg.LockWaitTimeout,
+		deadline: deadline,
 	}
 	if beginErr != nil {
 		tx.failedErr = beginErr
@@ -554,6 +667,10 @@ func (db *DB) Begin() *Tx {
 func (db *DB) endTx(tx *Tx) {
 	if tx.reg {
 		tx.reg = false
+		if tx.admitted {
+			tx.admitted = false
+			db.gate.Release()
+		}
 		db.inflight.Done()
 	}
 }

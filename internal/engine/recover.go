@@ -147,6 +147,7 @@ func Recover(dev wal.LogDevice, cfg Config) (*DB, *RecoveryReport, error) {
 	db.nextCSN = info.HighCSN
 	db.seqMu.Unlock()
 	db.visibleCSN.Store(info.HighCSN)
+	db.log.ResumeDurable(info.HighCSN)
 
 	if db.tracer.Enabled() {
 		db.tracer.Emit(trace.Event{

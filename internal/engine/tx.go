@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -43,9 +44,17 @@ type Tx struct {
 	// cleared by endTx. Handles rejected during shutdown are never
 	// registered.
 	reg bool
+	// admitted marks a handle holding an admission-gate slot; endTx
+	// releases it along with the drain registration.
+	admitted bool
 	// lockWait bounds each row-lock wait (0 = forever); seeded from
 	// Config.LockWaitTimeout, overridable per handle.
 	lockWait time.Duration
+	// deadline is the transaction's absolute time budget (zero = none);
+	// seeded from Config.DefaultTxDeadline, overridable per handle.
+	// Checked between statements, bounded into every lock wait, and
+	// honoured by the sync-commit WAL flush-group wait.
+	deadline time.Time
 
 	writes []writeRec
 	sfus   []sfuRec
@@ -109,6 +118,26 @@ func (tx *Tx) SetTag(tag string) { tx.tag = tag }
 // aborts and reruns the transaction.
 func (tx *Tx) SetLockWaitTimeout(d time.Duration) { tx.lockWait = d }
 
+// SetDeadline overrides the transaction's absolute deadline (zero
+// clears it). Past the deadline every statement fails with
+// core.ErrTxDeadline, a lock wait still pending is withdrawn with the
+// same error, and a sync Commit whose WAL flush-group wait outlives the
+// deadline withdraws its record and aborts cleanly if the record has
+// not yet been handed to the device (if it has, the commit completes —
+// fully durable — rather than half-published). Deadline expiry is not
+// retriable: the interaction's time budget is spent.
+func (tx *Tx) SetDeadline(d time.Time) { tx.deadline = d }
+
+// Deadline returns the transaction's absolute deadline (zero = none).
+func (tx *Tx) Deadline() time.Time { return tx.deadline }
+
+// expired reports whether the transaction has a deadline and it has
+// passed. One clock read; only called on paths that already cost a
+// statement or a commit.
+func (tx *Tx) expired() bool {
+	return !tx.deadline.IsZero() && !time.Now().Before(tx.deadline)
+}
+
 // SetAsync overrides the database's async-commit default for this
 // transaction (PostgreSQL's per-session synchronous_commit). With async
 // on, Commit returns as soon as the commit is published; durability is
@@ -158,7 +187,7 @@ func (tx *Tx) acquire(key storage.LockKey, mode storage.LockMode) error {
 			return err
 		}
 	}
-	return tx.db.locks.AcquireTimeout(tx.id, key, mode, tx.lockWait)
+	return tx.db.locks.AcquireUntil(tx.id, key, mode, tx.lockWait, tx.deadline)
 }
 
 // Charge spends d of simulated CPU on behalf of this transaction, on top
@@ -179,6 +208,9 @@ func (tx *Tx) stmt() error {
 	if tx.ssi != nil && tx.ssi.doomed() {
 		return tx.fail(core.ErrSerialization)
 	}
+	if tx.expired() {
+		return tx.fail(core.ErrTxDeadline)
+	}
 	tx.nStmts++
 	tx.db.machine.UseCPU(tx.db.machine.Config().StmtCPU)
 	return nil
@@ -187,9 +219,11 @@ func (tx *Tx) stmt() error {
 // fail records a concurrency failure: the transaction can only abort
 // from here on (PostgreSQL aborts the whole transaction on any error;
 // we apply that to the retriable class, which is what the benchmark's
-// retry discipline depends on).
+// retry discipline depends on). Deadline expiry poisons the handle the
+// same way even though it is not retriable — a transaction past its
+// deadline must not keep executing statements.
 func (tx *Tx) fail(err error) error {
-	if core.IsRetriable(err) && tx.failedErr == nil {
+	if (core.IsRetriable(err) || errors.Is(err, core.ErrTxDeadline)) && tx.failedErr == nil {
 		tx.failedErr = err
 		tx.abortCause = err
 	}
@@ -562,6 +596,37 @@ func (tx *Tx) rowImages() []wal.RowImage {
 	return rows
 }
 
+// waitFlush waits for a sync commit's flush verdict, bounded by the
+// transaction deadline. The commit must end fully durable or cleanly
+// aborted, never half-published, so deadline expiry is only honoured
+// while the record can still be torn from the log: if WAL.Withdraw wins
+// (the record was still queued, no flush window claimed it) the commit
+// fails with core.ErrTxDeadline and the caller rolls back exactly like
+// an enqueue failure — versions unstamped, CSN published as an empty
+// slot. If the record is already in flight, the verdict is awaited and
+// the commit completes — late, but durable. Async commits never reach
+// here: they publish first and carry their durability debt in the
+// future.
+func (tx *Tx) waitFlush(rec *wal.Record, done <-chan error) error {
+	if tx.deadline.IsZero() {
+		return <-done
+	}
+	rem := time.Until(tx.deadline)
+	if rem > 0 {
+		timer := time.NewTimer(rem)
+		select {
+		case err := <-done:
+			timer.Stop()
+			return err
+		case <-timer.C:
+		}
+	}
+	if tx.db.log.Withdraw(rec) {
+		return core.ErrTxDeadline
+	}
+	return <-done
+}
+
 // Commit finishes the transaction. For updating transactions it waits
 // for the simulated WAL (group commit), assigns the commit sequence
 // number, stamps versions and releases locks. Read-only transactions
@@ -585,6 +650,14 @@ func (tx *Tx) Commit() error {
 		tx.abortCause = core.ErrSerialization
 		tx.Abort()
 		return core.ErrSerialization
+	}
+	if tx.expired() {
+		// Past the deadline nothing may be made durable or visible:
+		// versions are still unstamped and unpublished, so this is a
+		// clean rollback, exactly like a failed statement.
+		tx.abortCause = core.ErrTxDeadline
+		tx.Abort()
+		return core.ErrTxDeadline
 	}
 
 	// Select-for-update on the commercial platform generates redo for
@@ -703,7 +776,7 @@ func (tx *Tx) Commit() error {
 		tx.db.ckptMu.RLock()
 		csn, done, err := tx.db.allocCSNEnqueue(rec)
 		if err == nil && !async && done != nil {
-			err = <-done
+			err = tx.waitFlush(rec, done)
 		}
 		if err != nil {
 			// The CSN is allocated but nothing carries it: publish the

@@ -359,6 +359,31 @@ func (lt *LockTable) Acquire(tx uint64, key LockKey, mode LockMode) error {
 // (PostgreSQL's lock_timeout discipline — the statement's transaction
 // aborts and the client retries). timeout <= 0 waits forever.
 func (lt *LockTable) AcquireTimeout(tx uint64, key LockKey, mode LockMode, timeout time.Duration) error {
+	return lt.AcquireUntil(tx, key, mode, timeout, time.Time{})
+}
+
+// AcquireUntil is AcquireTimeout generalized with an absolute
+// transaction deadline: the wait is bounded by whichever of timeout
+// (relative, the lock_timeout discipline) and deadline (absolute, the
+// transaction's overall budget) bites first. When the deadline is the
+// binding bound its expiry fails with core.ErrTxDeadline — not
+// retriable, the transaction's time is spent — while a plain lock
+// timeout keeps failing with the retriable core.ErrLockTimeout. A zero
+// deadline means no deadline; an already-expired deadline fails without
+// touching the queue.
+func (lt *LockTable) AcquireUntil(tx uint64, key LockKey, mode LockMode, timeout time.Duration, deadline time.Time) error {
+	wait := timeout
+	waitErr := core.ErrLockTimeout
+	if !deadline.IsZero() {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return core.ErrTxDeadline
+		}
+		if timeout <= 0 || rem < timeout {
+			wait = rem
+			waitErr = core.ErrTxDeadline
+		}
+	}
 	idx := lt.stripeIndex(key)
 	s := lt.stripes[idx]
 	s.mu.Lock()
@@ -368,15 +393,17 @@ func (lt *LockTable) AcquireTimeout(tx uint64, key LockKey, mode LockMode, timeo
 		lt.fastPath.Inc(idx)
 		return nil
 	}
-	return lt.acquireSlow(tx, key, mode, idx, timeout)
+	return lt.acquireSlow(tx, key, mode, idx, wait, waitErr)
 }
 
 // acquireSlow is the blocking path: with every stripe locked in
 // canonical order it re-checks grantability (the state may have moved
 // between the fast path and here), snapshots the global waits-for
 // relation for deadlock detection, and queues the request. The wait
-// itself happens with no stripe mutex held.
-func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int, timeout time.Duration) error {
+// itself happens with no stripe mutex held. timeoutErr is the verdict a
+// timed-out wait fails with (ErrLockTimeout for the lock_timeout bound,
+// ErrTxDeadline when the transaction deadline was the binding bound).
+func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int, timeout time.Duration, timeoutErr error) error {
 	s := lt.stripes[idx]
 	lt.lockAll()
 	if lt.tryGrantLocked(s, tx, key, mode) {
@@ -423,7 +450,7 @@ func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int,
 		case err = <-w.ready:
 			timer.Stop()
 		case <-timer.C:
-			err = lt.withdraw(s, tx, key, w)
+			err = lt.withdraw(s, tx, key, w, timeoutErr)
 		}
 	}
 	elapsed := time.Since(start)
@@ -447,7 +474,7 @@ func (lt *LockTable) acquireSlow(tx uint64, key LockKey, mode LockMode, idx int,
 // resolver sends on w.ready (buffered) before releasing the stripe, so
 // if w is no longer queued the verdict is already in the channel and
 // wins — a granted lock is returned, not leaked.
-func (lt *LockTable) withdraw(s *lockStripe, tx uint64, key LockKey, w *waiter) error {
+func (lt *LockTable) withdraw(s *lockStripe, tx uint64, key LockKey, w *waiter, timeoutErr error) error {
 	s.mu.Lock()
 	if l := s.locks[key]; l != nil {
 		for i, q := range l.queue {
@@ -455,13 +482,13 @@ func (lt *LockTable) withdraw(s *lockStripe, tx uint64, key LockKey, w *waiter) 
 				continue
 			}
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
-			lt.notifyWake(tx, key, core.ErrLockTimeout)
+			lt.notifyWake(tx, key, timeoutErr)
 			// Removing a waiter (it may have been at the head, holding
 			// compatible successors back) can unblock the queue.
 			lt.grantLocked(s, key, l)
 			s.mu.Unlock()
 			lt.removeQueued(tx, key)
-			return core.ErrLockTimeout
+			return timeoutErr
 		}
 	}
 	s.mu.Unlock()

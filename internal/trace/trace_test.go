@@ -312,3 +312,64 @@ func BenchmarkEmitEnabled(b *testing.B) {
 		}
 	})
 }
+
+// TestJSONLAbortReasonsGolden pins the abort-reason wire format: every
+// reason in the taxonomy round-trips, and the exact JSONL lines for the
+// newest reasons are frozen as goldens. The wire format carries names,
+// not ordinals, so renumbering the in-memory enum can never corrupt
+// archived traces — but renaming a reason (or emitting one this parser
+// rejects, which would make cmd/tracecheck refuse live engine output)
+// must fail here first.
+func TestJSONLAbortReasonsGolden(t *testing.T) {
+	var events []Event
+	for r := core.AbortNone; r <= core.AbortOther; r++ {
+		events = append(events, Event{TS: int64(r) + 1, Tx: 1, Kind: EvAbort, Reason: uint8(r)})
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	wire := buf.String()
+	got, err := ParseJSONL(strings.NewReader(wire))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("reason %s mismatch:\n got %+v\nwant %+v",
+				core.AbortReason(events[i].Reason), got[i], events[i])
+		}
+	}
+
+	// Golden lines for the overload-robustness reasons: the exact bytes
+	// a trace consumer sees.
+	for _, golden := range []string{
+		`{"ts":5,"tx":1,"kind":"abort","reason":"deadline"}`,
+		`{"ts":6,"tx":1,"kind":"abort","reason":"overload"}`,
+	} {
+		if !strings.Contains(wire, golden) {
+			t.Errorf("wire format drifted: %s not found in:\n%s", golden, wire)
+		}
+		evs, err := ParseJSONL(strings.NewReader(golden))
+		if err != nil {
+			t.Errorf("golden line rejected: %v", err)
+		} else if len(evs) != 1 || evs[0].Kind != EvAbort {
+			t.Errorf("golden line parsed to %+v", evs)
+		}
+	}
+
+	// A full stream containing the new reasons must also pass the
+	// validator (what cmd/tracecheck runs), not just the codec.
+	stream := []Event{
+		{TS: 1, Tx: 1, Kind: EvBegin, CSN: 1},
+		{TS: 2, Tx: 1, Kind: EvAbort, Reason: uint8(core.AbortDeadline)},
+		{TS: 3, Tx: 2, Kind: EvBegin, CSN: 1},
+		{TS: 4, Tx: 2, Kind: EvAbort, Reason: uint8(core.AbortOverload)},
+	}
+	if err := Validate(stream); err != nil {
+		t.Fatalf("validator rejects new abort reasons: %v", err)
+	}
+}

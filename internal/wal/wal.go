@@ -284,6 +284,37 @@ func (w *WAL) Enqueue(rec *Record) (<-chan error, error) {
 	return rec.done, nil
 }
 
+// Withdraw removes rec from the flush queue if — and only if — no flush
+// window has claimed it yet. It reports whether the record was
+// withdrawn: true means the record will never reach the device and its
+// done channel will never resolve, so the committer may abort cleanly
+// (the engine publishes the allocated CSN as an empty slot, the same
+// discipline as an enqueue failure — the durability watermark's prefix
+// property is unaffected because an empty slot has nothing to lose).
+// False means the record is in flight or already resolved: the commit
+// can no longer be torn away from the log, and the caller must wait for
+// the verdict and complete the commit. This is what bounds a sync
+// commit's flush-group wait by the transaction deadline without ever
+// leaving a commit half-published.
+func (w *WAL) Withdraw(rec *Record) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, r := range w.pending {
+		if r != rec {
+			continue
+		}
+		w.pending = append(w.pending[:i], w.pending[i+1:]...)
+		if rec.CSN != 0 {
+			w.outstandingRecs--
+		}
+		// Waiters on the watermark may be blocked behind this record's
+		// outstanding count.
+		w.durable.Broadcast()
+		return true
+	}
+	return false
+}
+
 // fireFlush hits the FaultFlush point, converting an injected panic
 // (ActPanic modelling a mid-flush crash) into its error value instead
 // of letting it kill the background flush goroutine — and with it the
@@ -598,13 +629,23 @@ func (w *WAL) tornAppend(frames []byte) {
 }
 
 // DurableWatermark returns the highest CSN acknowledged durable and
-// whether any enqueued record is still awaiting its verdict. With no
-// durability debt outstanding, everything ever acknowledged is durable
-// and the engine's visible CSN is the better watermark.
+// whether any enqueued record is still awaiting its verdict.
 func (w *WAL) DurableWatermark() (csn uint64, outstanding bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.durableCSN, w.outstandingRecs > 0
+}
+
+// ResumeDurable seeds the durability watermark, used once at recovery:
+// every commit the log replayed is durable by construction, so the
+// revived WAL's watermark starts at the recovered high-water mark
+// instead of re-earning it one flush at a time.
+func (w *WAL) ResumeDurable(csn uint64) {
+	w.mu.Lock()
+	if csn > w.durableCSN {
+		w.durableCSN = csn
+	}
+	w.mu.Unlock()
 }
 
 // WaitDurableCSN blocks until the commit with sequence number csn is

@@ -170,3 +170,64 @@ func TestScaledConfig(t *testing.T) {
 		t.Fatalf("Scaled(0.5) = %v", c.FsyncLatency)
 	}
 }
+
+func TestWithdrawPendingRecord(t *testing.T) {
+	w := New(Config{FsyncLatency: 50 * time.Millisecond})
+	defer w.Close()
+
+	// Occupy the flusher with a first record so the second stays in
+	// pending for the duration of the in-flight window.
+	first := make(chan error, 1)
+	go func() { first <- commitN(w, 1, 64) }()
+	time.Sleep(10 * time.Millisecond)
+
+	rec := &Record{TxID: 2, Bytes: 64, CSN: 7}
+	done, err := w.Enqueue(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Withdraw(rec) {
+		t.Fatal("record behind a busy flusher should be withdrawable")
+	}
+	// A withdrawn record's verdict channel never resolves, and the
+	// outstanding-record count it held is released so the durability
+	// watermark does not wedge on it.
+	select {
+	case v := <-done:
+		t.Fatalf("withdrawn record resolved: %v", v)
+	case <-time.After(120 * time.Millisecond):
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("in-flight commit: %v", err)
+	}
+	if _, outstanding := w.DurableWatermark(); outstanding {
+		t.Fatal("withdrawn record left the watermark outstanding")
+	}
+	// Withdrawing again — or withdrawing a record a window already
+	// claimed — reports false.
+	if w.Withdraw(rec) {
+		t.Fatal("double withdraw succeeded")
+	}
+	if s := w.Stats(); s.Records != 1 {
+		t.Fatalf("withdrawn record was flushed: %+v", s)
+	}
+}
+
+func TestWithdrawLosesToClaimedWindow(t *testing.T) {
+	w := New(Config{FsyncLatency: 30 * time.Millisecond})
+	defer w.Close()
+
+	// With an idle flusher the window claims the record immediately.
+	rec := &Record{TxID: 1, Bytes: 64}
+	done, err := w.Enqueue(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if w.Withdraw(rec) {
+		t.Fatal("withdrew a record already claimed by a flush window")
+	}
+	if v := <-done; v != nil {
+		t.Fatalf("claimed record's verdict: %v", v)
+	}
+}

@@ -51,6 +51,14 @@ type CrashChaosConfig struct {
 	// rotated at SegmentSize bytes, and adds the segment-rotation crash
 	// point to the rotation.
 	SegmentSize int64
+	// TxDeadline > 0 stamps every transaction with a default deadline
+	// and adds FsyncLatency of simulated device-sync time, so deadlines
+	// expire inside flush-group waits: WAL.Withdraw races the flush
+	// window's claim while crash faults fire around both. The audit is
+	// unchanged — a withdrawn commit must be indistinguishable from an
+	// abort (never half-published), or the state diff catches it.
+	TxDeadline   time.Duration
+	FsyncLatency time.Duration
 }
 
 func (c *CrashChaosConfig) defaults() {
@@ -80,8 +88,11 @@ type CrashCycle struct {
 	// exercises a clean-shutdown log tail).
 	Point string
 	Fired uint64
-	// Commits and Aborts summarize the burst before the crash.
+	// Commits and Aborts summarize the burst before the crash;
+	// DeadlineAborts is the subset that expired their transaction
+	// deadline (only populated when TxDeadline is set).
 	Commits, Aborts int64
+	DeadlineAborts  int64
 	// TornBytes is the length of the log tail recovery discarded;
 	// non-zero only when the crash tore a device append mid-frame.
 	TornBytes int
@@ -286,11 +297,12 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 	}
 	reg := faultinject.New(cfg.Seed)
 	ecfg := engine.Config{
-		Mode:        cfg.Mode,
-		Platform:    cfg.Platform,
-		WAL:         wal.Config{Device: dev},
-		Faults:      reg,
-		AsyncCommit: cfg.Async,
+		Mode:              cfg.Mode,
+		Platform:          cfg.Platform,
+		WAL:               wal.Config{Device: dev, FsyncLatency: cfg.FsyncLatency},
+		Faults:            reg,
+		AsyncCommit:       cfg.Async,
+		DefaultTxDeadline: cfg.TxDeadline,
 	}
 
 	db := engine.Open(ecfg)
@@ -349,6 +361,9 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 		}
 		ledger += res.CommittedDelta
 		cyc.Commits, cyc.Aborts = res.Commits, res.Aborts
+		for j := range res.PerType {
+			cyc.DeadlineAborts += res.PerType[j].Aborts[core.AbortDeadline]
+		}
 
 		// Let in-flight flushes resolve so the durability watermark is
 		// final (a no-op when the crash already bricked the device), then

@@ -152,3 +152,38 @@ func TestCrashChaosModes(t *testing.T) {
 		})
 	}
 }
+
+// TestCrashChaosDeadlines runs the rotation with a default transaction
+// deadline racing simulated fsync latency: deadlines expire inside
+// flush-group waits, so WAL.Withdraw races the flush window's claim
+// while crash points fire around both. The audit is unchanged — a
+// withdrawn commit must look exactly like an abort (never
+// half-published) or the row-for-row state diff catches it.
+func TestCrashChaosDeadlines(t *testing.T) {
+	rep, err := RunCrashChaos(CrashChaosConfig{
+		Cycles:       12,
+		Seed:         23,
+		Burst:        measure(60 * time.Millisecond),
+		TxDeadline:   4 * time.Millisecond,
+		FsyncLatency: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("durability invariants violated under deadlines: %v", rep.Violations)
+	}
+	if rep.CrashesFired() == 0 {
+		t.Fatal("no crash fault ever fired")
+	}
+	var deadline int64
+	for _, c := range rep.Cycles {
+		deadline += c.DeadlineAborts
+	}
+	if deadline == 0 {
+		t.Fatal("no burst ever expired a deadline — the race was not exercised")
+	}
+	if rep.ResumeCommits == 0 {
+		t.Fatal("final resume burst committed nothing")
+	}
+}

@@ -204,6 +204,12 @@ type Result struct {
 	Retries     int64
 	BackoffTime time.Duration
 	GiveUps     int64
+	// BudgetGiveUps is the subset of give-ups caused by the shared
+	// retry budget refusing a token (Config.Retry is a BudgetedPolicy
+	// whose bucket ran dry), counted over the whole run. These also
+	// appear in GiveUps/PerType.GiveUps when they land in the
+	// measurement interval.
+	BudgetGiveUps int64
 	// CommittedDelta is the net money movement of every committed
 	// DepositChecking/TransactSaving over the whole run (ramp included):
 	// the amount by which smallbank.TotalMoney should have changed when
@@ -270,6 +276,12 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	db.SetMetricsEnabled(true)
 	defer db.SetMetricsEnabled(false)
 	engineBase := db.TxnMetrics()
+	var budget *RetryBudget
+	var budgetBase int64
+	if bp, ok := cfg.Retry.(BudgetedPolicy); ok && bp.Budget != nil {
+		budget = bp.Budget
+		budgetBase = budget.Denied()
+	}
 
 	// Attach the online checker to the trace stream before any client
 	// starts, so the very first begin is observed. When the database has
@@ -357,6 +369,9 @@ func Run(db *engine.DB, cfg Config) (*Result, error) {
 	res.MeanLatency = lat.Mean()
 	res.Contention = db.Contention().Delta(contBase)
 	res.Engine = db.TxnMetrics().Delta(engineBase)
+	if budget != nil {
+		res.BudgetGiveUps = budget.Denied() - budgetBase
+	}
 	return res, nil
 }
 

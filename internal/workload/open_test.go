@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sicost/internal/admission"
+	"sicost/internal/core"
+	"sicost/internal/engine"
+	"sicost/internal/smallbank"
+)
+
+func TestRunOpenProducesGoodput(t *testing.T) {
+	db := loadedDB(t, core.SnapshotFUW, 50)
+	res, err := RunOpen(db, OpenConfig{
+		Rate:        800,
+		Customers:   50,
+		HotspotSize: 10,
+		HotspotProb: 0.2,
+		Ramp:        20 * time.Millisecond,
+		Measure:     measure(200 * time.Millisecond),
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("open run committed nothing")
+	}
+	if res.Goodput <= 0 {
+		t.Fatalf("goodput = %v", res.Goodput)
+	}
+	if res.Arrivals == 0 {
+		t.Fatal("no measured arrivals")
+	}
+	// An interaction either commits, gives up, or is dropped at the
+	// driver backstop; commits cannot exceed measured arrivals.
+	if res.Commits > res.Arrivals {
+		t.Fatalf("commits %d > arrivals %d", res.Commits, res.Arrivals)
+	}
+	if int64(res.Latency.Count) != res.Commits {
+		t.Fatalf("latency count %d != commits %d", res.Latency.Count, res.Commits)
+	}
+	if res.InFlightPeak <= 0 {
+		t.Fatal("in-flight peak never recorded")
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("unexpected driver drops: %d", res.Dropped)
+	}
+}
+
+func TestRunOpenShedAccounting(t *testing.T) {
+	// A one-slot gate with a one-deep queue against 800/s offered load:
+	// most arrivals must be shed with ErrOverload, and the driver must
+	// attribute them (no retry policy, so every shed is terminal).
+	db := engine.Open(engine.Config{
+		Mode: core.SnapshotFUW, Platform: core.PlatformPostgres,
+		Admission: &admission.Config{
+			InitialLimit: 1, MinLimit: 1, MaxLimit: 1,
+			MaxQueue: 1, Interval: time.Hour,
+		},
+	})
+	t.Cleanup(db.Close)
+	if err := smallbank.CreateSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: 50, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only slot for the first half of the window: arrivals in
+	// that half find the gate full and the one-deep queue occupied, so
+	// they shed; after the holder commits, service resumes and commits
+	// appear.
+	window := measure(200 * time.Millisecond)
+	holder := db.Begin()
+	timer := time.AfterFunc(window/2, func() { holder.Commit() })
+	defer timer.Stop()
+
+	res, err := RunOpen(db, OpenConfig{
+		Rate:        800,
+		Customers:   50,
+		HotspotSize: 10,
+		HotspotProb: 0.2,
+		Measure:     window,
+		Seed:        2,
+		MaxRetries:  -1, // ImmediatePolicy(-1): never retry
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("no interaction was shed despite a one-slot gate")
+	}
+	if res.AbortsByReason[core.AbortOverload] < res.Shed {
+		t.Fatalf("overload aborts %d < shed verdicts %d",
+			res.AbortsByReason[core.AbortOverload], res.Shed)
+	}
+	if res.Commits == 0 {
+		t.Fatal("admitted slot committed nothing")
+	}
+	s := db.Admission().Stats()
+	if s.Gate.Shed == 0 {
+		t.Fatal("gate never counted a shed")
+	}
+	if s.Gate.InFlight != 0 || s.Gate.QueueDepth != 0 {
+		t.Fatalf("gate leak after run: %+v", s.Gate)
+	}
+}
+
+func TestRunOpenRejectsBadConfig(t *testing.T) {
+	db := loadedDB(t, core.SnapshotFUW, 10)
+	if _, err := RunOpen(db, OpenConfig{Rate: 0, Customers: 10, HotspotSize: 5, Measure: time.Second}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := RunOpen(db, OpenConfig{Rate: 100, Customers: 1, HotspotSize: 5, Measure: time.Second}); err == nil {
+		t.Fatal("single customer accepted")
+	}
+}
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	// No refill: exactly burst tokens, then denials.
+	b := NewRetryBudget(0, 3)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("token %d refused with a full bucket", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket granted a token")
+	}
+	if b.Allow() {
+		t.Fatal("empty zero-rate bucket refilled")
+	}
+	if b.Denied() != 2 {
+		t.Fatalf("denied = %d, want 2", b.Denied())
+	}
+}
+
+func TestRetryBudgetRefills(t *testing.T) {
+	b := NewRetryBudget(1000, 1) // 1 token/ms
+	if !b.Allow() {
+		t.Fatal("initial token refused")
+	}
+	if b.Allow() {
+		t.Fatal("bucket granted past burst")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("bucket did not refill")
+	}
+}
+
+func TestBudgetedPolicyChargesOnlyRealRetries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewRetryBudget(0, 2)
+	p := BudgetedPolicy{Inner: ImmediatePolicy{MaxRetries: 1}, Budget: b}
+
+	// n=2 > MaxRetries: the inner policy refuses, so the budget must
+	// not be consulted (no token spent, no denial counted).
+	if _, ok := p.Backoff(2, 0, rng); ok {
+		t.Fatal("inner refusal overridden")
+	}
+	if b.Denied() != 0 {
+		t.Fatalf("denied = %d after inner refusal", b.Denied())
+	}
+	// Two inner-approved retries drain the bucket; the third becomes a
+	// give-up charged as a denial.
+	for i := 0; i < 2; i++ {
+		if _, ok := p.Backoff(1, 0, rng); !ok {
+			t.Fatalf("budgeted retry %d refused with tokens left", i)
+		}
+	}
+	if _, ok := p.Backoff(1, 0, rng); ok {
+		t.Fatal("retry granted on an empty budget")
+	}
+	if b.Denied() != 1 {
+		t.Fatalf("denied = %d, want 1", b.Denied())
+	}
+}
+
+func TestRunSurfacesBudgetGiveUps(t *testing.T) {
+	// Hot single-row contention under 2PL with lock timeouts generates
+	// retriable aborts; a zero-refill budget of 1 means nearly every
+	// retry is denied and the run must surface those give-ups.
+	db := loadedDB(t, core.Strict2PL, 20)
+	budget := NewRetryBudget(0, 1)
+	res, err := Run(db, Config{
+		MPL:         8,
+		Customers:   20,
+		HotspotSize: 2,
+		HotspotProb: 1.0,
+		Measure:     measure(150 * time.Millisecond),
+		Seed:        4,
+		MaxRetries:  10,
+		Retry:       BudgetedPolicy{Inner: ImmediatePolicy{MaxRetries: 10}, Budget: budget},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetGiveUps != budget.Denied() {
+		t.Fatalf("BudgetGiveUps = %d, budget denied %d", res.BudgetGiveUps, budget.Denied())
+	}
+}

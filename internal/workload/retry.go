@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -98,4 +99,86 @@ func (p BackoffPolicy) Backoff(n int, spent time.Duration, rng *rand.Rand) (time
 func (p BackoffPolicy) Name() string {
 	return fmt.Sprintf("backoff(max=%d base=%v cap=%v jitter=%.2f budget=%v)",
 		p.MaxRetries, p.Base, p.Cap, p.Jitter, p.Budget)
+}
+
+// RetryBudget is a token bucket shared by every client of a run: each
+// retry spends one token, tokens refill at a fixed rate, and a client
+// whose retry finds the bucket empty gives the interaction up instead.
+// Per-interaction retry bounds cannot stop retries from amplifying
+// offered load during overload — N clients each entitled to 50 retries
+// is a 50× amplifier exactly when the system can least afford it — but
+// a shared budget caps the *aggregate* retry rate: past saturation,
+// retries are forfeited rather than compounded. Safe for concurrent
+// use.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	rate   float64 // tokens per second
+	last   time.Time
+	denied int64
+}
+
+// NewRetryBudget builds a budget refilling at ratePerSec tokens per
+// second with the given burst capacity (the bucket starts full).
+// ratePerSec <= 0 means the bucket never refills: burst tokens total.
+func NewRetryBudget(ratePerSec, burst float64) *RetryBudget {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RetryBudget{tokens: burst, burst: burst, rate: ratePerSec, last: time.Now()}
+}
+
+// Allow spends one token, reporting false (and counting a denial) when
+// the bucket is empty.
+func (b *RetryBudget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if b.rate > 0 {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Denied returns the cumulative count of refused retries.
+func (b *RetryBudget) Denied() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}
+
+// BudgetedPolicy charges every retry its Inner policy would allow
+// against a shared RetryBudget; a retry the budget refuses becomes a
+// give-up. The budget is consulted *after* the inner policy so denials
+// are only counted for retries that would actually have run.
+type BudgetedPolicy struct {
+	Inner  RetryPolicy
+	Budget *RetryBudget
+}
+
+// Backoff implements RetryPolicy.
+func (p BudgetedPolicy) Backoff(n int, spent time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	d, ok := p.Inner.Backoff(n, spent, rng)
+	if !ok {
+		return 0, false
+	}
+	if p.Budget != nil && !p.Budget.Allow() {
+		return 0, false
+	}
+	return d, true
+}
+
+// Name implements RetryPolicy.
+func (p BudgetedPolicy) Name() string {
+	return fmt.Sprintf("budgeted(%s)", p.Inner.Name())
 }
