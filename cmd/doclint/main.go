@@ -1,14 +1,27 @@
-// Command doclint enforces the repository's documentation floor: every
-// package must carry a package doc comment, and the comment must open
-// with the godoc convention — "Package <name> ..." for libraries,
-// "Command <name> ..." for main packages. `make docs` runs it over the
-// whole module alongside go vet.
+// Command doclint enforces the repository's documentation floor. Two
+// layers of checks:
+//
+// Package docs: every package must carry a package doc comment, and
+// the comment must open with the godoc convention — "Package <name>
+// ..." for libraries, "Command <name> ..." for main packages.
+//
+// Docs cross-references: every file under docs/ is checked against the
+// code it describes, so the operational guides cannot silently rot:
+//
+//   - every `internal/...` path mentioned must exist in the repository;
+//   - every `-flag` token in inline code spans, and on `./cmd/...`
+//     invocation lines inside fenced blocks, must be a flag some
+//     command actually registers (flag.String/Bool/... in cmd/);
+//   - every `sicost_*` expvar name mentioned must be published by a
+//     command (a "sicost_..." string literal in cmd/ sources).
+//
+// `make docs` runs it over the whole module alongside go vet.
 //
 // Usage:
 //
 //	doclint [root ...]   # default: .
 //
-// Exit status is 1 if any package is missing or misleads its doc.
+// Exit status is 1 if any package or docs reference is flagged.
 package main
 
 import (
@@ -18,6 +31,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -34,13 +48,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 			os.Exit(1)
 		}
+		docProblems, err := lintDocs(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(1)
+		}
+		problems = append(problems, docProblems...)
 		for _, p := range problems {
 			fmt.Println(p)
 			bad++
 		}
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doclint: %d package(s) flagged\n", bad)
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s) flagged\n", bad)
 		os.Exit(1)
 	}
 }
@@ -117,4 +137,160 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// --- docs/*.md cross-reference checks ---
+
+var (
+	internalPathRe = regexp.MustCompile(`internal/[A-Za-z0-9_./-]*[A-Za-z0-9_]`)
+	inlineSpanRe   = regexp.MustCompile("`([^`\n]+)`")
+	flagTokenRe    = regexp.MustCompile(`(?:^|[\s|\[])(-[a-z][a-z0-9-]*)`)
+	flagDeclRe     = regexp.MustCompile(`flag\.[A-Za-z0-9]+\(\s*"([^"]+)"`)
+	metricDeclRe   = regexp.MustCompile(`"(sicost_[a-z_]+)"`)
+	metricRefRe    = regexp.MustCompile(`sicost_[a-z_]+`)
+)
+
+// lintDocs verifies that every file under <root>/docs references only
+// code that exists: internal/ paths, registered cmd flags, published
+// sicost_* expvar names. Absent a docs directory it is a no-op.
+func lintDocs(root string) ([]string, error) {
+	docsDir := filepath.Join(root, "docs")
+	entries, err := os.ReadDir(docsDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	flags, metrics, err := collectCmdDecls(filepath.Join(root, "cmd"))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		path := filepath.Join(docsDir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, lintDoc(root, path, string(b), flags, metrics)...)
+	}
+	return problems, nil
+}
+
+// collectCmdDecls scans cmd/ sources for flag registrations
+// (flag.String("name", ...) and friends) and published sicost_*
+// expvar names, the ground truth the docs are checked against.
+func collectCmdDecls(cmdDir string) (flags, metrics map[string]bool, err error) {
+	flags, metrics = map[string]bool{}, map[string]bool{}
+	err = filepath.WalkDir(cmdDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range flagDeclRe.FindAllStringSubmatch(string(b), -1) {
+			flags[m[1]] = true
+		}
+		for _, m := range metricDeclRe.FindAllStringSubmatch(string(b), -1) {
+			metrics[m[1]] = true
+		}
+		return nil
+	})
+	return flags, metrics, err
+}
+
+// lintDoc checks one markdown file. Flag tokens are collected from
+// inline code spans and from ./cmd/ invocation lines inside fenced
+// blocks (with backslash continuations joined); prose is never
+// scanned, so hyphenated English ("point-in-time") cannot false-fire.
+func lintDoc(root, path, text string, flags, metrics map[string]bool) []string {
+	var problems []string
+	flag := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: ", path)+fmt.Sprintf(format, args...))
+	}
+
+	for _, tok := range dedup(internalPathRe.FindAllString(text, -1)) {
+		if strings.Contains(tok, "...") {
+			continue // "internal/..." wildcard, not a path
+		}
+		if _, err := os.Stat(filepath.Join(root, tok)); err != nil {
+			flag("references %s, which does not exist", tok)
+		}
+	}
+
+	prose, fenced := splitFences(text)
+	var flagToks []string
+	for _, span := range inlineSpanRe.FindAllStringSubmatch(prose, -1) {
+		for _, m := range flagTokenRe.FindAllStringSubmatch(span[1], -1) {
+			flagToks = append(flagToks, m[1])
+		}
+	}
+	for _, line := range fenced {
+		if !strings.Contains(line, "./cmd/") {
+			continue
+		}
+		for _, m := range flagTokenRe.FindAllStringSubmatch(line, -1) {
+			flagToks = append(flagToks, m[1])
+		}
+	}
+	for _, tok := range dedup(flagToks) {
+		if !flags[strings.TrimPrefix(tok, "-")] {
+			flag("mentions flag %s, which no command registers", tok)
+		}
+	}
+
+	for _, tok := range dedup(metricRefRe.FindAllString(text, -1)) {
+		if !metrics[tok] {
+			flag("mentions expvar %s, which no command publishes", tok)
+		}
+	}
+	return problems
+}
+
+// splitFences separates a markdown document into its prose (fenced
+// blocks removed) and the fenced-block logical lines, joining
+// backslash-continued command lines so a wrapped invocation's flags
+// are checked with it.
+func splitFences(text string) (prose string, fenced []string) {
+	var keep []string
+	inFence := false
+	cont := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			keep = append(keep, line)
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			cont += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		fenced = append(fenced, cont+line)
+		cont = ""
+	}
+	if cont != "" {
+		fenced = append(fenced, cont)
+	}
+	return strings.Join(keep, "\n"), fenced
+}
+
+func dedup(toks []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
 }

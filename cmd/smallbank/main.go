@@ -19,6 +19,11 @@
 //	smallbank -open -rate 20000            # open-system run at a fixed offered load
 //	smallbank -open -rate 20000 -admission # ... behind the adaptive admission gate
 //	smallbank -deadline 50ms               # per-transaction time budget
+//	smallbank -wal waldir -wal-segment-size 1048576 -ckpt-bytes 4194304 -retire
+//	                                       # fuzzy incremental checkpoints + online
+//	                                       # segment retirement (bounded log)
+//	smallbank -crash -crash-segment-size 4096 -crash-fuzzy
+//	                                       # crash chaos with the fuzzy machinery live
 package main
 
 import (
@@ -67,6 +72,11 @@ func main() {
 		walPath      = flag.String("wal", "", "durable log file; a non-empty file is recovered instead of loaded")
 		walAsync     = flag.Bool("wal-async", false, "asynchronous commit (synchronous_commit=off): publish before durable")
 		walSegSize   = flag.Int64("wal-segment-size", 0, "rotate the log into wal.NNNN segments at this many bytes; -wal names a directory")
+		ckptBytes    = flag.Int64("ckpt-bytes", 0, "fuzzy incremental checkpoint after this many bytes of log growth (0 = off)")
+		ckptChain    = flag.Int("ckpt-chain", 0, "delta links per chain before a full link re-roots it (0 = engine default)")
+		retire       = flag.Bool("retire", false, "retire fully-covered wal.NNNN segments after each chain re-root (needs -wal-segment-size)")
+		archiveDir   = flag.String("archive", "", "copy retired segments into this directory before deleting (PITR; needs -retire)")
+		crashFuzzy   = flag.Bool("crash-fuzzy", false, "-crash: fuzzy checkpoints + segment retirement live during the rotation")
 		lockTimeout  = flag.Duration("locktimeout", 0, "per-transaction lock-wait timeout (0 = wait forever)")
 		retryKind    = flag.String("retry", "immediate", "retry policy: immediate or backoff")
 		retries      = flag.Int("retries", 50, "max retries per interaction")
@@ -133,9 +143,22 @@ func main() {
 	}
 
 	if *crash {
-		runCrashChaos(engCfg.Mode, engCfg.Platform, *crashCycles, *seed, *crashAsync, *crashSegSize)
+		runCrashChaos(engCfg.Mode, engCfg.Platform, *crashCycles, *seed, *crashAsync, *crashSegSize, *crashFuzzy)
 		return
 	}
+
+	if *retire && *walSegSize <= 0 {
+		fmt.Fprintln(os.Stderr, "smallbank: -retire needs a segmented log (-wal-segment-size > 0)")
+		os.Exit(2)
+	}
+	if *archiveDir != "" && !*retire {
+		fmt.Fprintln(os.Stderr, "smallbank: -archive needs -retire")
+		os.Exit(2)
+	}
+	engCfg.CheckpointLogBytes = *ckptBytes
+	engCfg.CheckpointChainMax = *ckptChain
+	engCfg.RetireSegments = *retire
+	engCfg.ArchiveDir = *archiveDir
 
 	var policy workload.RetryPolicy
 	switch *retryKind {
@@ -273,6 +296,9 @@ func main() {
 				"DurableSeq":    durable,
 				"DurabilityLag": commit - durable,
 				"Stats":         db.WAL().Stats(),
+				// Fuzzy-checkpoint gauges: chain shape, dirty-set size,
+				// cumulative commit-barrier pause (see OBSERVABILITY.md §9).
+				"Checkpoint": db.CheckpointStats(),
 			}
 		}))
 		if lim := db.Admission(); lim != nil {
@@ -412,14 +438,33 @@ func main() {
 			db.DurableSeq(), db.CommitSeq())
 	}
 	if dev != nil {
-		// Bound the log file so the next -wal run recovers from a compact
-		// checkpoint instead of replaying this whole run.
-		csn, err := db.Checkpoint()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "smallbank: checkpoint:", err)
-			os.Exit(1)
+		if *ckptBytes > 0 {
+			// Fuzzy mode: seal the run with one more incremental link (a
+			// full re-root retires covered segments when -retire is on)
+			// and report the chain the next -wal run will fold.
+			csn, err := db.CheckpointIncremental()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smallbank: checkpoint:", err)
+				os.Exit(1)
+			}
+			cs := db.CheckpointStats()
+			ws = db.WAL().Stats()
+			fmt.Printf("checkpoint: CSN %d, chain %d links (%d full re-roots of %d total), %d bytes live\n",
+				csn, cs.ChainLinks, cs.FullLinks, cs.Links, dev.Size())
+			fmt.Printf("checkpoint pauses: %v total (%v last); retired %d segments, archived %d\n",
+				time.Duration(cs.PauseNS).Round(time.Microsecond),
+				time.Duration(cs.LastPauseNS).Round(time.Microsecond),
+				ws.RetiredSegments, ws.ArchivedSegments)
+		} else {
+			// Bound the log file so the next -wal run recovers from a compact
+			// checkpoint instead of replaying this whole run.
+			csn, err := db.Checkpoint()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smallbank: checkpoint:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("checkpoint: CSN %d written to %s (%d bytes)\n", csn, *walPath, dev.Size())
 		}
-		fmt.Printf("checkpoint: CSN %d written to %s (%d bytes)\n", csn, *walPath, dev.Size())
 	}
 
 	lc := res.Contention.Lock
@@ -621,27 +666,31 @@ func runOpenSystem(db *engine.DB, r openRun) {
 // runCrashChaos drives the crash/recover harness and prints the
 // per-cycle durability audit. Exits non-zero if any cycle violates the
 // durability contract.
-func runCrashChaos(mode core.CCMode, platform core.Platform, cycles int, seed int64, async bool, segSize int64) {
-	fmt.Fprintf(os.Stderr, "crash chaos: %d crash/recover cycles, mode %s, seed %d, async %v, segment size %d...\n",
-		cycles, mode, seed, async, segSize)
+func runCrashChaos(mode core.CCMode, platform core.Platform, cycles int, seed int64, async bool, segSize int64, fuzzy bool) {
+	fmt.Fprintf(os.Stderr, "crash chaos: %d crash/recover cycles, mode %s, seed %d, async %v, segment size %d, fuzzy %v...\n",
+		cycles, mode, seed, async, segSize, fuzzy)
 	rep, err := workload.RunCrashChaos(workload.CrashChaosConfig{
 		Mode: mode, Platform: platform, Cycles: cycles, Seed: seed,
-		Async: async, SegmentSize: segSize,
+		Async: async, SegmentSize: segSize, Fuzzy: fuzzy,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smallbank:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%5s %-22s %6s %8s %8s %6s %8s %8s %8s %5s %5s\n",
-		"cycle", "crash point", "fired", "commits", "aborts", "torn", "replayed", "highCSN", "durable", "segs", "ckpt")
+	fmt.Printf("%5s %-22s %6s %8s %8s %6s %8s %8s %8s %5s %5s %5s\n",
+		"cycle", "crash point", "fired", "commits", "aborts", "torn", "replayed", "highCSN", "durable", "segs", "ckpt", "chain")
 	for _, c := range rep.Cycles {
 		ckpt := ""
 		if c.Checkpointed {
 			ckpt = "yes"
 		}
-		fmt.Printf("%5d %-22s %6d %8d %8d %6d %8d %8d %8d %5d %5s\n",
+		chain := ""
+		if c.ChainLinks > 0 {
+			chain = fmt.Sprintf("%d", c.ChainLinks)
+		}
+		fmt.Printf("%5d %-22s %6d %8d %8d %6d %8d %8d %8d %5d %5s %5s\n",
 			c.Cycle, c.Point, c.Fired, c.Commits, c.Aborts,
-			c.TornBytes, c.ReplayedCommits, c.HighCSN, c.DurableSeq, c.Segments, ckpt)
+			c.TornBytes, c.ReplayedCommits, c.HighCSN, c.DurableSeq, c.Segments, ckpt, chain)
 	}
 	fmt.Printf("\ncrashes fired: %d/%d cycles\n", rep.CrashesFired(), len(rep.Cycles))
 	fmt.Printf("conservation: initial %d %+d committed = %d final\n",

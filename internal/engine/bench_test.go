@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -341,6 +342,136 @@ func BenchmarkCommitDurableMPL16(b *testing.B) {
 			s := db.WAL().Stats()
 			if syncs := s.Syncs - pre.Syncs; syncs > 0 {
 				b.ReportMetric(float64(s.Records-pre.Records)/float64(syncs), "commits/sync")
+			}
+		})
+	}
+}
+
+// BenchmarkCommitCheckpointMPL16 prices checkpoint interference on the
+// commit path: 16 committers on disjoint stripes against a file device
+// (simulated 200µs sync), with a deliberately large cold table so the
+// checkpoint has real work to do. none is the interference-free
+// baseline; stw takes a stop-the-world Checkpoint every 25ms — every
+// commit stalls behind the full snapshot and rewrite, which is the
+// pause the fuzzy machinery exists to kill; fuzzy runs the log-growth
+// scheduler taking incremental links concurrently with the committers,
+// holding the barrier only to cut and append a begin marker. The
+// p99-ns metric is the acceptance gate: fuzzy must stay within 2× of
+// none at this MPL (stw is the contrast, typically an order of
+// magnitude worse).
+func BenchmarkCommitCheckpointMPL16(b *testing.B) {
+	const (
+		mpl    = 16
+		stripe = 64
+		hot    = mpl * stripe
+		cold   = 16384 // rows only the checkpoint touches
+	)
+	p99 := func(ns []int64) float64 {
+		if len(ns) == 0 {
+			return 0
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		return float64(ns[(len(ns)-1)*99/100])
+	}
+	for _, v := range []struct {
+		name  string
+		stw   bool
+		fuzzy bool
+	}{
+		{"none", false, false},
+		{"stw", true, false},
+		{"fuzzy", false, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			dev, err := wal.OpenFileDevice(filepath.Join(b.TempDir(), "bench.wal"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { dev.Close() })
+			cfg := Config{
+				Mode: core.SnapshotFUW, Platform: core.PlatformPostgres,
+				WAL: wal.Config{Device: dev, FsyncLatency: 200 * time.Microsecond},
+			}
+			if v.fuzzy {
+				cfg.CheckpointLogBytes = 128 << 10
+			}
+			db := Open(cfg)
+			b.Cleanup(db.Close)
+			if err := db.CreateTable(kvSchema("T")); err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin()
+			for k := int64(0); k < hot+cold; k++ {
+				if err := tx.Insert("T", kv(k, k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var ckptWG sync.WaitGroup
+			if v.stw {
+				ckptWG.Add(1)
+				go func() {
+					defer ckptWG.Done()
+					t := time.NewTicker(25 * time.Millisecond)
+					defer t.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-t.C:
+							if _, err := db.Checkpoint(); err != nil {
+								return
+							}
+						}
+					}
+				}()
+			}
+			lats := make([][]int64, mpl)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < mpl; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < b.N/mpl; i++ {
+						k := int64(w*stripe + i%stripe)
+						t0 := time.Now()
+						tx := db.Begin()
+						if _, err := tx.Get("T", core.Int(k)); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := tx.Update("T", core.Int(k), kv(k, int64(i))); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							b.Error(err)
+							return
+						}
+						lats[w] = append(lats[w], time.Since(t0).Nanoseconds())
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(stop)
+			ckptWG.Wait()
+			var all []int64
+			for _, l := range lats {
+				all = append(all, l...)
+			}
+			b.ReportMetric(p99(all), "p99-ns")
+			cs := db.CheckpointStats()
+			if v.fuzzy {
+				b.ReportMetric(float64(cs.Links), "links")
+			}
+			if cs.PauseNS > 0 && len(all) > 0 {
+				b.ReportMetric(float64(cs.PauseNS)/float64(len(all)), "pause-ns/op")
 			}
 		})
 	}

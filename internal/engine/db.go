@@ -98,6 +98,24 @@ type Config struct {
 	// with core.ErrTxDeadline (classified AbortDeadline). Transactions
 	// can override per-handle with Tx.SetDeadline.
 	DefaultTxDeadline time.Duration
+	// CheckpointLogBytes, when positive, runs a background scheduler
+	// that takes a fuzzy incremental checkpoint (CheckpointIncremental)
+	// whenever the log has grown by at least this many bytes since the
+	// last checkpoint. Requires a durable device; ignored otherwise.
+	CheckpointLogBytes int64
+	// CheckpointChainMax bounds the delta chain: every
+	// CheckpointChainMax-th link is written as a full (base-0) link,
+	// re-rooting the chain and advancing the segment-retirement bound.
+	// Zero means DefaultCheckpointChainMax.
+	CheckpointChainMax int
+	// RetireSegments unlinks sealed segments wholly covered by the
+	// checkpoint chain after each completed link (segmented devices
+	// only), bounding log size online without the stop-the-world
+	// Rewrite.
+	RetireSegments bool
+	// ArchiveDir, when non-empty, copies each retired segment there
+	// before the unlink — the point-in-time-recovery source.
+	ArchiveDir string
 	// Faults is the fault-injection registry consulted by the engine,
 	// storage and WAL fault points; nil (the default) compiles every
 	// hook down to a pointer test.
@@ -191,6 +209,31 @@ type DB struct {
 	// frame carries a CSN ≤ the cut, so the snapshot already covers it
 	// (recovery skips the late frame).
 	ckptMu sync.RWMutex
+	// Fuzzy incremental checkpoint state. ckptRunMu serializes whole
+	// checkpoint runs (STW and incremental — a run spans the barrier
+	// cut, the streamed link and the end-marker sync); ckptStateMu
+	// guards the chain bookkeeping those runs update.
+	ckptRunMu   sync.Mutex
+	ckptStateMu sync.Mutex
+	// chainBase is the cut of the newest durable chain link (0: no
+	// chain — the next link must be full); chainLinks the chain length
+	// including the root; chainRootSeg the segment index sampled while
+	// appending the root's begin marker — the retirement bound (0
+	// disables retirement until the next full link re-roots).
+	chainBase    uint64
+	chainLinks   int
+	chainRootSeg int
+	// ckptPauseNS accumulates commit-barrier hold time across
+	// checkpoints; lastPauseNS is the most recent hold. incrCkpts and
+	// fullLinks count completed links and chain re-roots.
+	ckptPauseNS atomic.Int64
+	lastPauseNS atomic.Int64
+	incrCkpts   atomic.Int64
+	fullLinks   atomic.Int64
+	// ckptStop/ckptDone manage the log-growth checkpoint scheduler.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	ckptOnce sync.Once
 	// seqWaits counts commits that had to wait in publishCSN for an
 	// earlier CSN to publish (commit-sequencer contention).
 	seqWaits atomic.Uint64
@@ -276,6 +319,11 @@ func Open(cfg Config) *DB {
 		db.admStop = make(chan struct{})
 		db.admDone = make(chan struct{})
 		go db.admissionLoop()
+	}
+	if cfg.CheckpointLogBytes > 0 && db.log.Persistent() {
+		db.ckptStop = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.ckptLoop()
 	}
 	return db
 }
@@ -381,6 +429,10 @@ func (db *DB) Close() {
 		<-db.admDone
 	}
 	db.inflight.Wait()
+	if db.ckptStop != nil {
+		db.ckptOnce.Do(func() { close(db.ckptStop) })
+		<-db.ckptDone
+	}
 	// Drain before Close: with async commit, acknowledged transactions
 	// may still have records in the flush queue — a graceful shutdown
 	// makes them durable instead of failing them.
@@ -450,27 +502,266 @@ func (db *DB) CreateTable(schema *core.Schema) error {
 	return db.log.AppendSchema(schema)
 }
 
+// DefaultCheckpointChainMax is the chain-length bound applied when
+// Config.CheckpointChainMax is zero: the 8th link after a re-root is
+// written full again, advancing the segment-retirement bound.
+const DefaultCheckpointChainMax = 8
+
 // Checkpoint serializes a consistent snapshot of the database at the
 // current commit high-water mark and truncates the log to it, bounding
 // recovery's replay cost. It requires a durable log device. The
 // snapshot is point-in-time consistent: it is taken under the commit
-// barrier (see ckptMu), so it contains exactly the commits with
-// csn <= cut and the rewritten log loses no redo work. Returns the cut.
+// barrier (see ckptMu) — every commit stalls for the whole snapshot
+// and rewrite, the stop-the-world cost CheckpointIncremental exists to
+// avoid. Returns the cut.
 func (db *DB) Checkpoint() (uint64, error) {
 	if !db.log.Persistent() {
 		return 0, core.ErrWALClosed
 	}
+	db.ckptRunMu.Lock()
+	defer db.ckptRunMu.Unlock()
+	start := time.Now()
 	db.ckptMu.Lock()
-	defer db.ckptMu.Unlock()
 	cut := db.visibleCSN.Load()
+	// The full image supersedes the dirty epochs; drain them so the
+	// next incremental link is not bloated with keys the image covers.
+	for _, name := range db.store.TableNames() {
+		if t, terr := db.store.Table(name); terr == nil {
+			t.SwapDirty()
+		}
+	}
 	ckpt, err := (&wal.Checkpointer{Log: db.log}).Run(db.store, cut)
+	sample := 0
+	if err == nil {
+		if sl, ok := db.log.Device().(*wal.SegmentLog); ok {
+			sample = sl.CurrentSegment()
+		}
+	}
+	db.ckptMu.Unlock()
+	pause := time.Since(start).Nanoseconds()
+	db.ckptPauseNS.Add(pause)
+	db.lastPauseNS.Store(pause)
 	if err != nil {
+		db.resetChain()
 		return 0, err
 	}
+	// The checkpoint frame is a valid chain root: delta links may build
+	// on its cut (foldChain accepts Base == the frame's CSN).
+	db.ckptStateMu.Lock()
+	db.chainBase, db.chainLinks, db.chainRootSeg = cut, 1, sample
+	db.ckptStateMu.Unlock()
 	if db.tracer.Enabled() {
 		db.tracer.Emit(trace.Event{Kind: trace.EvCheckpoint, CSN: cut, Bytes: len(wal.EncodeCheckpoint(ckpt))})
 	}
 	return cut, nil
+}
+
+// CheckpointIncremental takes one fuzzy checkpoint: a delta link over
+// the keys dirtied since the previous link (or a full base-0 link when
+// there is no chain, or the chain reached CheckpointChainMax). The
+// commit barrier is held only for the cut — read the visible CSN, swap
+// the dirty epochs, append the begin marker, sample the retirement
+// bound — while the expensive parts (resolving after-images, streaming
+// them, the end-marker sync) run concurrently with commits: versions
+// at or below the cut are immutable, and appending the begin marker
+// under the barrier guarantees no commit with CSN > cut precedes it in
+// the byte stream. After a full link completes, segments wholly behind
+// the chain root are retired when Config.RetireSegments is set.
+// Returns the cut (unchanged and without writing anything when no
+// commit landed since the previous link).
+func (db *DB) CheckpointIncremental() (uint64, error) {
+	if !db.log.Persistent() {
+		return 0, core.ErrWALClosed
+	}
+	db.ckptRunMu.Lock()
+	defer db.ckptRunMu.Unlock()
+
+	db.ckptStateMu.Lock()
+	base, links := db.chainBase, db.chainLinks
+	sample := db.chainRootSeg
+	db.ckptStateMu.Unlock()
+	chainMax := db.cfg.CheckpointChainMax
+	if chainMax <= 0 {
+		chainMax = DefaultCheckpointChainMax
+	}
+	full := base == 0 || links >= chainMax
+
+	start := time.Now()
+	db.ckptMu.Lock()
+	cut := db.visibleCSN.Load()
+	if cut == 0 || (!full && cut <= base) {
+		db.ckptMu.Unlock()
+		return cut, nil // nothing committed since the previous link
+	}
+	dirty := make(map[string][]core.Value)
+	for _, name := range db.store.TableNames() {
+		t, terr := db.store.Table(name)
+		if terr != nil {
+			continue
+		}
+		keys := t.SwapDirty()
+		if !full && len(keys) > 0 {
+			dirty[name] = keys
+		}
+	}
+	begin := &wal.DeltaBegin{CSN: cut, Schemas: wal.Schemas(db.store)}
+	if !full {
+		begin.Base = base
+	}
+	if full {
+		// Sampled before the append: if the begin itself triggers a
+		// rotation the marker lands one segment later, so the bound only
+		// ever errs conservative (one extra segment kept).
+		sample = 0
+		if sl, ok := db.log.Device().(*wal.SegmentLog); ok {
+			sample = sl.CurrentSegment()
+		}
+	}
+	linkBytes, err := db.log.BeginDelta(begin)
+	db.ckptMu.Unlock()
+	pause := time.Since(start).Nanoseconds()
+	db.ckptPauseNS.Add(pause)
+	db.lastPauseNS.Store(pause)
+	if err != nil {
+		db.resetChain()
+		return 0, err
+	}
+
+	var rows []wal.DeltaRow
+	if full {
+		rows = wal.SnapshotAll(db.store, cut)
+	} else {
+		rows = wal.SnapshotDelta(db.store, dirty, cut)
+	}
+	if db.tracer.Enabled() {
+		db.tracer.Emit(trace.Event{Kind: trace.EvCkptBegin, CSN: cut, Depth: len(rows)})
+	}
+	const deltaBatch = 256
+	for off := 0; off < len(rows); off += deltaBatch {
+		end := off + deltaBatch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		n, derr := db.log.AppendDeltaRows(&wal.DeltaRows{CSN: cut, Rows: rows[off:end]})
+		if derr != nil {
+			db.resetChain()
+			return 0, derr
+		}
+		linkBytes += n
+	}
+	n, err := db.log.EndDelta(&wal.DeltaEnd{CSN: cut, Rows: uint64(len(rows))})
+	if err != nil {
+		db.resetChain()
+		return 0, err
+	}
+	linkBytes += n
+
+	db.incrCkpts.Add(1)
+	if full {
+		db.fullLinks.Add(1)
+	}
+	db.ckptStateMu.Lock()
+	db.chainBase = cut
+	if full {
+		db.chainLinks = 1
+		db.chainRootSeg = sample
+	} else {
+		db.chainLinks++
+	}
+	links = db.chainLinks
+	bound := db.chainRootSeg
+	db.ckptStateMu.Unlock()
+	if db.tracer.Enabled() {
+		db.tracer.Emit(trace.Event{Kind: trace.EvCkptEnd, CSN: cut, Depth: links, Bytes: linkBytes})
+	}
+	if db.cfg.RetireSegments && bound > 0 {
+		if _, _, rerr := db.log.Retire(bound, db.cfg.ArchiveDir); rerr != nil {
+			return cut, rerr
+		}
+	}
+	return cut, nil
+}
+
+// resetChain abandons the in-memory chain state after a failed link:
+// whatever the log holds, the next checkpoint starts a fresh full link
+// (which also covers the dirty epoch the failed run drained).
+func (db *DB) resetChain() {
+	db.ckptStateMu.Lock()
+	db.chainBase, db.chainLinks, db.chainRootSeg = 0, 0, 0
+	db.ckptStateMu.Unlock()
+}
+
+// ckptLoopInterval is the checkpoint scheduler's poll period.
+const ckptLoopInterval = 5 * time.Millisecond
+
+// ckptLoop is the log-growth checkpoint scheduler: whenever the device
+// has accumulated Config.CheckpointLogBytes of appends since the last
+// completed checkpoint, it takes an incremental one. Failures are left
+// for the next tick (a bricked WAL fails fast until recovery).
+func (db *DB) ckptLoop() {
+	defer close(db.ckptDone)
+	t := time.NewTicker(ckptLoopInterval)
+	defer t.Stop()
+	last := db.log.Stats().Bytes
+	for {
+		select {
+		case <-db.ckptStop:
+			return
+		case <-t.C:
+			if db.log.Broken() != nil {
+				continue
+			}
+			if db.log.Stats().Bytes-last < db.cfg.CheckpointLogBytes {
+				continue
+			}
+			if _, err := db.CheckpointIncremental(); err != nil {
+				continue
+			}
+			last = db.log.Stats().Bytes
+		}
+	}
+}
+
+// CheckpointStats reports the engine-side fuzzy-checkpoint counters;
+// the WAL-side view (delta links durable, retired and archived
+// segments) lives in wal.Stats.
+type CheckpointStats struct {
+	// Links counts completed incremental links, FullLinks the chain
+	// re-roots among them (STW checkpoints count in neither — see
+	// wal.Stats.Checkpoints).
+	Links     int64
+	FullLinks int64
+	// ChainLinks and ChainBase describe the current chain: its length
+	// including the root, and the newest durable cut.
+	ChainLinks int
+	ChainBase  uint64
+	// DirtyKeys is the dirty-set size across all tables (a gauge,
+	// approximate under concurrent commits).
+	DirtyKeys int
+	// PauseNS is the cumulative commit-barrier hold time across
+	// checkpoints (an STW run counts its whole snapshot and rewrite);
+	// LastPauseNS the most recent hold.
+	PauseNS     int64
+	LastPauseNS int64
+}
+
+// CheckpointStats snapshots the fuzzy-checkpoint counters.
+func (db *DB) CheckpointStats() CheckpointStats {
+	s := CheckpointStats{
+		Links:       db.incrCkpts.Load(),
+		FullLinks:   db.fullLinks.Load(),
+		PauseNS:     db.ckptPauseNS.Load(),
+		LastPauseNS: db.lastPauseNS.Load(),
+	}
+	db.ckptStateMu.Lock()
+	s.ChainLinks, s.ChainBase = db.chainLinks, db.chainBase
+	db.ckptStateMu.Unlock()
+	for _, name := range db.store.TableNames() {
+		if t, err := db.store.Table(name); err == nil {
+			s.DirtyKeys += t.DirtyCount()
+		}
+	}
+	return s
 }
 
 // Mode returns the configured concurrency-control mode.

@@ -106,6 +106,10 @@ func Recover(dev wal.LogDevice, cfg Config) (*DB, *RecoveryReport, error) {
 			if err := installRecovered(tbl, ri.Key, ri.Rec, c.CSN); err != nil {
 				return fail(err)
 			}
+			// Replayed keys enter the dirty epoch: the first
+			// post-recovery delta link bases on the recovered cut, so it
+			// must cover the redo work between the cut and the crash.
+			tbl.MarkDirty(ri.Key)
 			report.ReplayedRows++
 		}
 		report.ReplayedCommits++
@@ -148,6 +152,22 @@ func Recover(dev wal.LogDevice, cfg Config) (*DB, *RecoveryReport, error) {
 	db.seqMu.Unlock()
 	db.visibleCSN.Store(info.HighCSN)
 	db.log.ResumeDurable(info.HighCSN)
+
+	// Seed the fuzzy-checkpoint chain state: the next incremental link
+	// bases on the recovered cut (the fold's tail), extending the chain
+	// the log already holds. The retirement bound stays 0 — the root's
+	// segment index is unknown after a restart — so no segment retires
+	// until the next full link re-roots the chain.
+	if info.Checkpoint != nil {
+		db.ckptStateMu.Lock()
+		db.chainBase = info.Checkpoint.CSN
+		db.chainLinks = info.ChainLinks
+		if db.chainLinks == 0 {
+			db.chainLinks = 1 // legacy full-image root counts as the root link
+		}
+		db.chainRootSeg = 0
+		db.ckptStateMu.Unlock()
+	}
 
 	if db.tracer.Enabled() {
 		db.tracer.Emit(trace.Event{

@@ -108,6 +108,15 @@ const (
 	// write set (a statement can fail without dooming the transaction).
 	// The write-ver events are exactly engine.TxInfo.Writes.
 	EvWriteVer
+	// EvCkptBegin: a fuzzy incremental checkpoint opened its delta link.
+	// Tx is zero; CSN is the begin cut (the chain link's CSN) and Depth
+	// the number of dirty keys the link will stream. Appended after
+	// EvWriteVer to keep earlier wire values stable.
+	EvCkptBegin
+	// EvCkptEnd: the delta link's end marker is durable. Tx is zero; CSN
+	// is the cut, Depth the chain length including this link, Bytes the
+	// total encoded size of the link's frames.
+	EvCkptEnd
 
 	numKinds
 )
@@ -118,7 +127,7 @@ var kindNames = [numKinds]string{
 	"begin", "snapshot", "read", "write", "sfu",
 	"lock-wait", "lock-wake", "conflict", "abort", "commit",
 	"wal-commit", "wal-flush", "checkpoint", "recovery",
-	"read-ver", "write-ver",
+	"read-ver", "write-ver", "ckpt-begin", "ckpt-end",
 }
 
 // NumKinds returns the number of defined event kinds. Consumers that

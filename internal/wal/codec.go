@@ -23,6 +23,9 @@ const (
 	frameCommit     = 1
 	frameCheckpoint = 2
 	frameSchema     = 3
+	frameDeltaBegin = 4
+	frameDeltaRows  = 5
+	frameDeltaEnd   = 6
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -69,11 +72,58 @@ type Checkpoint struct {
 	Tables []CheckpointTable
 }
 
+// DeltaBegin opens one link of a fuzzy checkpoint chain. CSN is the
+// cut: the link's row images cover every key dirtied by commits in
+// (Base, CSN]. Base is the cut of the previous chain link this delta
+// builds on; Base == 0 marks a *full* link (the chain root: every live
+// key is streamed, so no older log bytes are needed to fold it). The
+// begin marker embeds all table schemas as of the cut, making a chain
+// rooted at a full link self-contained the way a Checkpoint frame is.
+type DeltaBegin struct {
+	CSN     uint64
+	Base    uint64
+	Schemas []core.Schema
+}
+
+// DeltaRow is one dirty-key after-image as of the link's cut: the
+// newest committed version with csn <= cut. Rec == nil encodes a
+// tombstone — the key was deleted (or never live) at the cut, and the
+// fold removes it.
+type DeltaRow struct {
+	Table string
+	Key   core.Value
+	CSN   uint64
+	Rec   core.Record
+}
+
+// DeltaRows is one batch of a link's row images, appended between the
+// link's begin and end markers. CSN binds the batch to its link;
+// batches whose CSN does not match the open link are ignored by
+// classification. Commit frames interleave freely with these batches —
+// that is the point of the fuzzy checkpoint.
+type DeltaRows struct {
+	CSN  uint64
+	Rows []DeltaRow
+}
+
+// DeltaEnd seals a link. A link is complete — and only then counts for
+// the recovery fold — when its end marker is inside the valid prefix
+// and Rows matches the total DeltaRow entries streamed since the begin
+// marker. A torn or missing end marker discards the whole link:
+// recovery falls back to the previous complete chain state.
+type DeltaEnd struct {
+	CSN  uint64
+	Rows uint64
+}
+
 // Frame is one decoded log frame; exactly one field is non-nil.
 type Frame struct {
 	Commit     *CommitFrame
 	Checkpoint *Checkpoint
 	Schema     *core.Schema
+	DeltaBegin *DeltaBegin
+	DeltaRows  *DeltaRows
+	DeltaEnd   *DeltaEnd
 }
 
 // --- encoding -------------------------------------------------------------
@@ -174,6 +224,45 @@ func EncodeCheckpoint(c *Checkpoint) []byte {
 func EncodeSchema(s *core.Schema) []byte {
 	p := []byte{frameSchema}
 	p = appendSchema(p, s)
+	return frame(p)
+}
+
+// EncodeDeltaBegin renders a chain-link begin marker, header included.
+func EncodeDeltaBegin(d *DeltaBegin) []byte {
+	p := []byte{frameDeltaBegin}
+	p = appendU64(p, d.CSN)
+	p = appendU64(p, d.Base)
+	p = appendU32(p, uint32(len(d.Schemas)))
+	for i := range d.Schemas {
+		p = appendSchema(p, &d.Schemas[i])
+	}
+	return frame(p)
+}
+
+// EncodeDeltaRows renders one batch of link row images, header included.
+func EncodeDeltaRows(d *DeltaRows) []byte {
+	p := []byte{frameDeltaRows}
+	p = appendU64(p, d.CSN)
+	p = appendU32(p, uint32(len(d.Rows)))
+	for _, r := range d.Rows {
+		p = appendStr(p, r.Table)
+		p = appendValue(p, r.Key)
+		p = appendU64(p, r.CSN)
+		if r.Rec == nil {
+			p = append(p, 0)
+		} else {
+			p = append(p, 1)
+			p = appendRecord(p, r.Rec)
+		}
+	}
+	return frame(p)
+}
+
+// EncodeDeltaEnd renders a chain-link end marker, header included.
+func EncodeDeltaEnd(d *DeltaEnd) []byte {
+	p := []byte{frameDeltaEnd}
+	p = appendU64(p, d.CSN)
+	p = appendU64(p, d.Rows)
 	return frame(p)
 }
 
@@ -402,6 +491,87 @@ func (r *reader) checkpointFrame() (*Checkpoint, error) {
 	return c, nil
 }
 
+func (r *reader) deltaBeginFrame() (*DeltaBegin, error) {
+	d := &DeltaBegin{}
+	var err error
+	if d.CSN, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if d.Base, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if d.CSN == 0 || d.Base >= d.CSN {
+		// The cut is a published CSN (never 0) and a link must advance
+		// the chain; a marker violating either is corrupt.
+		return nil, fmt.Errorf("wal: delta begin with cut %d, base %d", d.CSN, d.Base)
+	}
+	nschemas, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nschemas; i++ {
+		s, err := r.schema()
+		if err != nil {
+			return nil, err
+		}
+		d.Schemas = append(d.Schemas, s)
+	}
+	return d, nil
+}
+
+func (r *reader) deltaRowsFrame() (*DeltaRows, error) {
+	d := &DeltaRows{}
+	var err error
+	if d.CSN, err = r.u64(); err != nil {
+		return nil, err
+	}
+	nrows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nrows; i++ {
+		var row DeltaRow
+		if row.Table, err = r.str(); err != nil {
+			return nil, err
+		}
+		if row.Key, err = r.value(); err != nil {
+			return nil, err
+		}
+		if row.CSN, err = r.u64(); err != nil {
+			return nil, err
+		}
+		live, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if live != 0 {
+			if row.Rec, err = r.record(); err != nil {
+				return nil, err
+			}
+			if row.Rec == nil {
+				row.Rec = core.Record{}
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+func (r *reader) deltaEndFrame() (*DeltaEnd, error) {
+	d := &DeltaEnd{}
+	var err error
+	if d.CSN, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if d.Rows, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if d.CSN == 0 {
+		return nil, fmt.Errorf("wal: delta end with CSN 0")
+	}
+	return d, nil
+}
+
 // DecodeFrameAt decodes the frame starting at byte offset off. It
 // returns the frame, the total encoded length (header included), and
 // an error when the bytes at off do not form a complete, checksummed,
@@ -437,6 +607,12 @@ func DecodeFrameAt(b []byte, off int) (Frame, int, error) {
 		if err == nil {
 			f.Schema = &s
 		}
+	case frameDeltaBegin:
+		f.DeltaBegin, err = r.deltaBeginFrame()
+	case frameDeltaRows:
+		f.DeltaRows, err = r.deltaRowsFrame()
+	case frameDeltaEnd:
+		f.DeltaEnd, err = r.deltaEndFrame()
 	default:
 		return Frame{}, 0, fmt.Errorf("wal: frame at %d: unknown type %d", off, payload[0])
 	}

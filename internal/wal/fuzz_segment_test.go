@@ -65,6 +65,26 @@ func FuzzRecoverSegments(f *testing.F) {
 	f.Add([]byte{2, 0}, []byte{1, 2, 3}) // garbage
 	f.Add([]byte{0, 0}, []byte{})        // empty
 
+	// Fuzzy checkpoint chain layouts: a full root link, a redo commit, a
+	// delta link based on it — then the same stream with the last link
+	// torn mid-batch, and with the link's frames straddling boundaries.
+	link := func(base, cut uint64, rows []wal.DeltaRow) []byte {
+		out := wal.EncodeDeltaBegin(&wal.DeltaBegin{CSN: cut, Base: base, Schemas: []core.Schema{schema}})
+		out = append(out, wal.EncodeDeltaRows(&wal.DeltaRows{CSN: cut, Rows: rows})...)
+		return append(out, wal.EncodeDeltaEnd(&wal.DeltaEnd{CSN: cut, Rows: uint64(len(rows))})...)
+	}
+	chain := append(wal.EncodeSchema(&schema),
+		link(0, 2, []wal.DeltaRow{{Table: "t", Key: core.Int(1), CSN: 2, Rec: core.Record{core.Int(1), core.Int(2)}}})...)
+	chain = append(chain, commit(3)...)
+	lastLink := link(2, 3, []wal.DeltaRow{
+		{Table: "t", Key: core.Int(1), CSN: 3, Rec: core.Record{core.Int(1), core.Int(3)}},
+		{Table: "t", Key: core.Int(2)}, // tombstone image
+	})
+	f.Add([]byte{2, 0}, append(append([]byte(nil), chain...), lastLink...))        // complete chain over two segments
+	f.Add([]byte{4, 0}, append(append([]byte(nil), chain...), lastLink...))       // chain frames straddling boundaries
+	f.Add([]byte{3, 0}, append(append([]byte(nil), chain...), lastLink[:9]...))   // torn mid-begin of the last link
+	f.Add([]byte{2, 0}, append(append([]byte(nil), chain...), lastLink[:len(lastLink)-5]...)) // torn before the end marker
+
 	f.Fuzz(func(t *testing.T, head, body []byte) {
 		segs := fuzzSegments(append(append([]byte(nil), head...), body...))
 		total := 0

@@ -11,9 +11,17 @@ import (
 // snapshot to start from, the redo work after it, and what the scan
 // discarded.
 type RecoveryInfo struct {
-	// Checkpoint is the last checkpoint frame in the valid prefix, or
-	// nil when the log has never been checkpointed.
+	// Checkpoint is the snapshot to restore: the last full-image
+	// checkpoint frame in the valid prefix, or — when a fuzzy checkpoint
+	// chain is present — the synthetic checkpoint produced by folding
+	// the chain (root image plus every complete delta link in order).
+	// Nil when the log has never been checkpointed.
 	Checkpoint *Checkpoint
+	// ChainLinks is the number of complete delta links folded into
+	// Checkpoint: 0 for a legacy full-image checkpoint (or none at
+	// all). A torn or incomplete final link is not counted — recovery
+	// falls back to the chain state before it.
+	ChainLinks int
 	// Schemas are the table definitions in effect: every schema frame
 	// in the valid prefix, deduplicated by table name (last wins),
 	// merged with the schemas embedded in the checkpoint.
@@ -136,6 +144,146 @@ func ClassifySegments(segs []SegmentData) (*RecoveryInfo, error) {
 	return info, nil
 }
 
+// chainLink is one complete fuzzy-checkpoint link assembled by the
+// classification scan: its begin marker plus every bound rows batch.
+type chainLink struct {
+	begin *DeltaBegin
+	rows  []DeltaRow
+}
+
+// foldChain reduces the frame stream's checkpoint structure to one
+// synthetic full checkpoint. The scan keeps a running chain — a root
+// (either a legacy full-image Checkpoint frame or a complete delta link
+// with Base == 0) plus complete delta links each based on the previous
+// cut — and a pending link between a begin marker and its end marker.
+// A link is complete only when its end marker matches the open begin's
+// cut AND its row count; anything else (torn tail inside the link, a
+// new begin abandoning the old, a mismatched orphan) discards the
+// pending link, so recovery falls back to the chain state before it —
+// never a partial fold. Rows batches bind to the pending link by cut;
+// unbound batches are ignored (fuzz inputs; a healthy engine never
+// interleaves links).
+//
+// It returns the folded checkpoint (nil when the log has neither a
+// checkpoint frame nor a complete rooted chain) and the number of delta
+// links folded.
+func foldChain(frames []Frame) (*Checkpoint, int) {
+	var (
+		base    *Checkpoint // legacy full-image root
+		chain   []*chainLink
+		pending *chainLink
+	)
+	tailCut := func() uint64 {
+		if len(chain) > 0 {
+			return chain[len(chain)-1].begin.CSN
+		}
+		if base != nil {
+			return base.CSN
+		}
+		return 0
+	}
+	for i := range frames {
+		f := &frames[i]
+		switch {
+		case f.Checkpoint != nil:
+			base, chain, pending = f.Checkpoint, nil, nil
+		case f.DeltaBegin != nil:
+			pending = &chainLink{begin: f.DeltaBegin}
+		case f.DeltaRows != nil:
+			if pending != nil && f.DeltaRows.CSN == pending.begin.CSN {
+				pending.rows = append(pending.rows, f.DeltaRows.Rows...)
+			}
+		case f.DeltaEnd != nil:
+			if pending == nil || f.DeltaEnd.CSN != pending.begin.CSN ||
+				f.DeltaEnd.Rows != uint64(len(pending.rows)) {
+				pending = nil
+				continue
+			}
+			switch {
+			case pending.begin.Base == 0:
+				// A full link roots a fresh chain; earlier roots and
+				// links are superseded.
+				base, chain = nil, []*chainLink{pending}
+			case pending.begin.Base == tailCut():
+				chain = append(chain, pending)
+				// Orphan links whose base matches nothing are dropped: a
+				// healthy engine never writes one (it extends only after
+				// the previous end marker synced).
+			}
+			pending = nil
+		}
+	}
+	if len(chain) == 0 {
+		return base, 0
+	}
+
+	// Fold: start from the root image, apply each link's after-images in
+	// order — a tombstone removes the key, a live row installs it.
+	live := map[string]map[core.Value]CheckpointRow{}
+	if base != nil {
+		for _, t := range base.Tables {
+			m := make(map[core.Value]CheckpointRow, len(t.Rows))
+			for _, r := range t.Rows {
+				m[r.Key] = r
+			}
+			live[t.Schema.Name] = m
+		}
+	}
+	for _, ln := range chain {
+		for _, dr := range ln.rows {
+			m := live[dr.Table]
+			if dr.Rec == nil {
+				if m != nil {
+					delete(m, dr.Key)
+				}
+				continue
+			}
+			if dr.CSN == 0 || dr.CSN > ln.begin.CSN {
+				continue // malformed image (fuzz); a real link never streams it
+			}
+			if m == nil {
+				m = map[core.Value]CheckpointRow{}
+				live[dr.Table] = m
+			}
+			m[dr.Key] = CheckpointRow{Key: dr.Key, CSN: dr.CSN, Rec: dr.Rec}
+		}
+	}
+
+	// Tables come from the last link's embedded schema set — the
+	// definitions as of the final cut — so empty tables survive the fold.
+	ckpt := &Checkpoint{CSN: tailCut()}
+	seen := map[string]bool{}
+	addTable := func(s core.Schema) {
+		if seen[s.Name] {
+			return
+		}
+		seen[s.Name] = true
+		ct := CheckpointTable{Schema: s}
+		m := live[s.Name]
+		keys := make([]core.Value, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		for _, k := range keys {
+			ct.Rows = append(ct.Rows, m[k])
+		}
+		ckpt.Tables = append(ckpt.Tables, ct)
+	}
+	for _, s := range chain[len(chain)-1].begin.Schemas {
+		addTable(s)
+	}
+	// Defensive: tables in the root image missing from the last link's
+	// schema set (schemas only grow, so a healthy log never hits this)
+	// still fold through rather than vanish.
+	if base != nil {
+		for _, t := range base.Tables {
+			addTable(t.Schema)
+		}
+	}
+	return ckpt, len(chain)
+}
+
 // torn returns the position (in sorted order) of the segment containing
 // byte offset off of the concatenation.
 func torn(sorted []SegmentData, off int) int {
@@ -160,12 +308,9 @@ func Classify(b []byte) *RecoveryInfo {
 		TornBytes:  len(b) - validLen,
 	}
 
-	// The snapshot to restore is the *last* checkpoint in the log.
-	for _, f := range frames {
-		if f.Checkpoint != nil {
-			info.Checkpoint = f.Checkpoint
-		}
-	}
+	// The snapshot to restore: the last full-image checkpoint, with any
+	// complete delta chain built on it folded in.
+	info.Checkpoint, info.ChainLinks = foldChain(frames)
 	cut := uint64(0)
 	if info.Checkpoint != nil {
 		cut = info.Checkpoint.CSN

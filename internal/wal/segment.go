@@ -18,6 +18,13 @@ import (
 // append is rejected, but every synced byte survives for recovery.
 const FaultRotate = "wal/rotate"
 
+// FaultRetire fires inside SegmentLog.RetireSegments once per segment,
+// before that segment is archived or unlinked. An injected error or an
+// ActPanic (process death mid-retire) stops the sweep with a prefix of
+// the eligible segments removed — still a contiguous suffix layout that
+// openSegments and recovery accept, because removal runs oldest-first.
+const FaultRetire = "wal/retire"
+
 const segPrefix = "wal."
 
 // SegmentName returns the canonical file name of segment index i:
@@ -88,6 +95,9 @@ type segStore interface {
 	create(idx int) (segFile, error)
 	// remove deletes a segment.
 	remove(idx int) error
+	// archive durably copies a segment's image into dir before it is
+	// removed (the point-in-time-recovery source).
+	archive(dir string, idx int, data []byte) error
 	// syncDir makes creations/removals durable (file backend).
 	syncDir() error
 }
@@ -386,6 +396,67 @@ func (l *SegmentLog) Rewrite(b []byte) error {
 	return nil
 }
 
+// fireRetire hits FaultRetire with the usual panic conversion.
+func (l *SegmentLog) fireRetire() (err error, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := faultinject.AsPanic(r)
+			if !ok {
+				panic(r)
+			}
+			err, crashed = p, true
+		}
+	}()
+	return l.faults.Fire(FaultRetire, faultinject.Ctx{}), false
+}
+
+// RetireSegments implements Retirer: unlink sealed segments with index
+// < beforeIdx, oldest first, each optionally copied to archiveDir
+// first (copy synced before the unlink, so the archive never misses a
+// retired segment). The current segment is never retired. A failure —
+// injected or real — stops the sweep mid-way; because removal is
+// oldest-first, the survivors [k..N] stay a contiguous index range that
+// openSegments and ClassifySegments accept.
+func (l *SegmentLog) RetireSegments(beforeIdx int, archiveDir string) (retired, archived int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.segs) > 1 && l.segs[0].idx < beforeIdx {
+		m := l.segs[0]
+		ferr, crashed := l.fireRetire()
+		if ferr != nil || crashed {
+			_ = l.store.syncDir()
+			return retired, archived, fmt.Errorf("wal: segment retire %s: %w", SegmentName(m.idx), ferr)
+		}
+		if archiveDir != "" {
+			f, _, oerr := l.store.open(m.idx)
+			if oerr != nil {
+				return retired, archived, fmt.Errorf("wal: segment retire %s: %w", SegmentName(m.idx), oerr)
+			}
+			data, rerr := f.read()
+			f.close()
+			if rerr != nil {
+				return retired, archived, fmt.Errorf("wal: segment retire %s: %w", SegmentName(m.idx), rerr)
+			}
+			if aerr := l.store.archive(archiveDir, m.idx, data); aerr != nil {
+				return retired, archived, fmt.Errorf("wal: segment archive %s: %w", SegmentName(m.idx), aerr)
+			}
+			archived++
+		}
+		if rerr := l.store.remove(m.idx); rerr != nil {
+			return retired, archived, fmt.Errorf("wal: segment retire %s: %w", SegmentName(m.idx), rerr)
+		}
+		l.total -= m.size
+		l.segs = l.segs[1:]
+		retired++
+	}
+	if retired > 0 {
+		if serr := l.store.syncDir(); serr != nil {
+			return retired, archived, fmt.Errorf("wal: segment retire: %w", serr)
+		}
+	}
+	return retired, archived, nil
+}
+
 // TruncateTail implements TailTruncator: discard everything past the
 // logical offset valid (torn-tail repair). Later segments are removed
 // newest-first, then the segment containing the cut is truncated.
@@ -446,6 +517,16 @@ func (l *SegmentLog) Size() int64 {
 	return l.total
 }
 
+// CurrentSegment returns the index of the segment new appends land in.
+// The engine samples it while appending a chain root's begin marker
+// (under the commit barrier): every earlier segment is covered once
+// that chain completes, so the sample is the chain's retirement bound.
+func (l *SegmentLog) CurrentSegment() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.curMeta().idx
+}
+
 // SegmentCount returns the number of live segments (observability).
 func (l *SegmentLog) SegmentCount() int {
 	l.mu.Lock()
@@ -496,8 +577,9 @@ func (s *memSeg) read() ([]byte, error) {
 func (s *memSeg) close() error { return nil }
 
 type memSegStore struct {
-	mu   sync.Mutex
-	segs map[int]*memSeg
+	mu       sync.Mutex
+	segs     map[int]*memSeg
+	archived map[int][]byte // retired-segment images, keyed by index
 }
 
 func (st *memSegStore) list() ([]int, error) {
@@ -535,6 +617,16 @@ func (st *memSegStore) remove(idx int) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	delete(st.segs, idx)
+	return nil
+}
+
+func (st *memSegStore) archive(dir string, idx int, data []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.archived == nil {
+		st.archived = map[int][]byte{}
+	}
+	st.archived[idx] = append([]byte(nil), data...)
 	return nil
 }
 
@@ -613,6 +705,28 @@ func (st *fileSegStore) create(idx int) (segFile, error) {
 
 func (st *fileSegStore) remove(idx int) error {
 	return os.Remove(filepath.Join(st.dir, SegmentName(idx)))
+}
+
+func (st *fileSegStore) archive(dir string, idx int, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(idx)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 func (st *fileSegStore) syncDir() error { return syncDir(st.dir) }

@@ -57,6 +57,13 @@ const (
 	// inside the coalesced-sync window: every unsynced append vanishes
 	// with the page cache and nothing in the window is acknowledged.
 	FaultSync = "wal/sync"
+	// FaultCkptDelta fires once per delta-rows append of a fuzzy
+	// checkpoint link, before any byte reaches the device. An ActPanic
+	// models the process dying mid-delta: unsynced appends are lost, a
+	// torn prefix of the batch frame may reach the platter, the WAL
+	// bricks — and recovery must discard the incomplete link, falling
+	// back to the previous complete chain state.
+	FaultCkptDelta = "wal/ckpt-delta"
 )
 
 // Config parameterizes the log device.
@@ -132,6 +139,14 @@ type Stats struct {
 	// Checkpoints counts checkpoint frames written (each rewrites the
 	// device to checkpoint + empty tail).
 	Checkpoints int64
+	// DeltaCheckpoints counts fuzzy chain links made durable (end
+	// marker synced).
+	DeltaCheckpoints int64
+	// RetiredSegments counts sealed segments unlinked by Retire because
+	// the checkpoint chain covers them; ArchivedSegments counts how many
+	// of those were copied to the archive directory first.
+	RetiredSegments  int64
+	ArchivedSegments int64
 }
 
 // AvgBatch returns the mean number of commit records per successful
@@ -758,6 +773,172 @@ func (w *WAL) AppendSchema(s *core.Schema) error {
 	}
 	w.mu.Unlock()
 	return err
+}
+
+// guardOpen rejects device-side operations on a closed or bricked WAL.
+func (w *WAL) guardOpen() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return core.ErrWALClosed
+	}
+	return w.broken
+}
+
+// BeginDelta appends a fuzzy-checkpoint chain-link begin marker. The
+// caller (engine.DB.CheckpointIncremental) holds the commit barrier's
+// write side across this append, which is the whole point: no commit
+// with CSN > d.CSN can precede the marker in the byte stream, so every
+// frame before it is covered by the chain once the link completes. The
+// marker is NOT synced here — the end marker's sync covers it, and a
+// begin lost with the page cache just leaves an incomplete link that
+// recovery ignores.
+func (w *WAL) BeginDelta(d *DeltaBegin) (int, error) {
+	if w.cfg.Device == nil {
+		return 0, core.ErrWALClosed
+	}
+	if err := w.guardOpen(); err != nil {
+		return 0, err
+	}
+	enc := EncodeDeltaBegin(d)
+	w.devMu.Lock()
+	err := w.cfg.Device.Append(enc)
+	w.devMu.Unlock()
+	w.mu.Lock()
+	if err == nil {
+		w.stats.Bytes += int64(len(enc))
+	} else if w.broken == nil {
+		w.broken = err
+		w.durable.Broadcast()
+	}
+	w.mu.Unlock()
+	return len(enc), err
+}
+
+// fireCkptDelta hits the FaultCkptDelta point with the flush loop's
+// panic conversion: an ActPanic models the process dying mid-delta.
+func (w *WAL) fireCkptDelta() (err error, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := faultinject.AsPanic(r)
+			if !ok {
+				panic(r)
+			}
+			err, crashed = p, true
+		}
+	}()
+	return w.faults.Fire(FaultCkptDelta, faultinject.Ctx{}), false
+}
+
+// AppendDeltaRows appends one batch of a link's after-images. It runs
+// WITHOUT the commit barrier — versions at or below the cut are
+// immutable, so commits interleave freely with these appends. A crash
+// here (FaultCkptDelta with ActPanic) loses unsynced appends, leaves at
+// most a torn prefix of this batch on the platter and bricks the WAL:
+// recovery sees an incomplete link and falls back to the previous
+// complete chain state. Any other append failure also bricks — a
+// half-written link whose device state is unknown cannot be reasoned
+// about frame by frame.
+func (w *WAL) AppendDeltaRows(d *DeltaRows) (int, error) {
+	if w.cfg.Device == nil {
+		return 0, core.ErrWALClosed
+	}
+	if err := w.guardOpen(); err != nil {
+		return 0, err
+	}
+	enc := EncodeDeltaRows(d)
+	ferr, crashed := w.fireCkptDelta()
+	if crashed {
+		w.dropUnsynced()
+		w.tornAppend(enc)
+		w.brick(ferr)
+		return 0, ferr
+	}
+	if ferr == nil {
+		ferr = w.devAppend(enc)
+	}
+	w.mu.Lock()
+	if ferr == nil {
+		w.stats.Bytes += int64(len(enc))
+	} else if w.broken == nil {
+		w.broken = ferr
+		w.durable.Broadcast()
+	}
+	w.mu.Unlock()
+	if ferr != nil {
+		return 0, ferr
+	}
+	return len(enc), nil
+}
+
+// EndDelta appends the link's end marker and syncs: the durability
+// point of the whole link (begin, every rows batch, end — appends are
+// ordered, one sync covers them all). Only after EndDelta returns nil
+// may the engine extend its in-memory chain state or retire segments.
+func (w *WAL) EndDelta(d *DeltaEnd) (int, error) {
+	if w.cfg.Device == nil {
+		return 0, core.ErrWALClosed
+	}
+	if err := w.guardOpen(); err != nil {
+		return 0, err
+	}
+	enc := EncodeDeltaEnd(d)
+	w.devMu.Lock()
+	err := w.cfg.Device.Append(enc)
+	if err == nil {
+		err = w.cfg.Device.Sync()
+	}
+	w.devMu.Unlock()
+	w.mu.Lock()
+	if err == nil {
+		w.stats.Bytes += int64(len(enc))
+		w.stats.Syncs++
+		w.stats.DeltaCheckpoints++
+	} else if w.broken == nil {
+		w.broken = err
+		w.durable.Broadcast()
+	}
+	w.mu.Unlock()
+	return len(enc), err
+}
+
+// Retirer is implemented by log devices that can unlink sealed segments
+// wholly covered by a durable checkpoint chain (the segmented log).
+type Retirer interface {
+	// RetireSegments removes every sealed segment with index < beforeIdx,
+	// oldest first; with archiveDir non-empty each is copied there before
+	// the unlink. It returns how many segments were removed and how many
+	// of those were archived. A crash mid-retire leaves a shorter prefix
+	// removed — still a valid suffix layout.
+	RetireSegments(beforeIdx int, archiveDir string) (retired, archived int, err error)
+}
+
+// Retire unlinks sealed segments with index < beforeIdx, optionally
+// archiving each to archiveDir first (point-in-time-recovery source).
+// The caller must only pass a beforeIdx at or below the segment index
+// that was current when the chain's ROOT link appended its begin marker
+// — everything before that point is reconstructible from the chain. A
+// no-op (0, 0, nil) when the device does not support retirement.
+func (w *WAL) Retire(beforeIdx int, archiveDir string) (retired, archived int, err error) {
+	r, ok := w.cfg.Device.(Retirer)
+	if !ok {
+		return 0, 0, nil
+	}
+	if err := w.guardOpen(); err != nil {
+		return 0, 0, err
+	}
+	w.devMu.Lock()
+	retired, archived, err = r.RetireSegments(beforeIdx, archiveDir)
+	w.devMu.Unlock()
+	w.mu.Lock()
+	w.stats.RetiredSegments += int64(retired)
+	w.stats.ArchivedSegments += int64(archived)
+	if err != nil && w.broken == nil {
+		w.broken = err
+		w.durable.Broadcast()
+	}
+	w.mu.Unlock()
+	return retired, archived, err
 }
 
 // InjectFailure makes every subsequent flush window acknowledge its

@@ -51,6 +51,15 @@ type CrashChaosConfig struct {
 	// rotated at SegmentSize bytes, and adds the segment-rotation crash
 	// point to the rotation.
 	SegmentSize int64
+	// Fuzzy runs the fuzzy incremental checkpoint machinery during the
+	// bursts: the engine's log-growth scheduler checkpoints with a small
+	// threshold (so links land inside bursts, concurrent with commits),
+	// segmented runs retire covered segments online with archiving, and
+	// the crash rotation gains the mid-delta (wal/ckpt-delta) and
+	// mid-retire (wal/retire) points. The per-recovery checkpoint
+	// cadence uses CheckpointIncremental instead of the stop-the-world
+	// Checkpoint.
+	Fuzzy bool
 	// TxDeadline > 0 stamps every transaction with a default deadline
 	// and adds FsyncLatency of simulated device-sync time, so deadlines
 	// expire inside flush-group waits: WAL.Withdraw races the flush
@@ -109,6 +118,9 @@ type CrashCycle struct {
 	// Segments is the number of log segments recovery scanned (1 for a
 	// flat device).
 	Segments int
+	// ChainLinks is the number of fuzzy-checkpoint delta links recovery
+	// folded (0 when it restored a legacy full-image checkpoint).
+	ChainLinks int
 	// Checkpointed reports whether a checkpoint was taken after this
 	// cycle's recovery.
 	Checkpointed bool
@@ -164,6 +176,12 @@ func (c *CrashChaosConfig) crashPoints() []string {
 	if c.SegmentSize > 0 {
 		pts = append(pts, wal.FaultRotate)
 	}
+	if c.Fuzzy {
+		pts = append(pts, wal.FaultCkptDelta)
+		if c.SegmentSize > 0 {
+			pts = append(pts, wal.FaultRetire)
+		}
+	}
 	return pts
 }
 
@@ -171,9 +189,17 @@ func (c *CrashChaosConfig) crashPoints() []string {
 // panic after a varying number of hits, so crashes land at different
 // depths of the burst.
 func crashSpec(points []string, cycle int) faultinject.Spec {
+	p := points[cycle%len(points)]
+	after := uint64(2 + 5*(cycle%7))
+	// The checkpoint-machinery points fire a handful of times per burst
+	// (once per delta batch streamed / segment retired), not hundreds:
+	// trigger early so the armed cycle actually crashes inside them.
+	if p == wal.FaultCkptDelta || p == wal.FaultRetire {
+		after = uint64(cycle % 3)
+	}
 	return faultinject.Spec{
-		Point:  points[cycle%len(points)],
-		After:  uint64(2 + 5*(cycle%7)),
+		Point:  p,
+		After:  after,
 		Count:  1,
 		Action: faultinject.ActPanic,
 	}
@@ -304,6 +330,17 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 		AsyncCommit:       cfg.Async,
 		DefaultTxDeadline: cfg.TxDeadline,
 	}
+	if cfg.Fuzzy {
+		// Small threshold so the scheduler checkpoints inside every
+		// burst, and a short chain so full links re-root (and retirement
+		// runs) several times over the run.
+		ecfg.CheckpointLogBytes = 4096
+		ecfg.CheckpointChainMax = 3
+		if cfg.SegmentSize > 0 {
+			ecfg.RetireSegments = true
+			ecfg.ArchiveDir = "archive"
+		}
+	}
 
 	db := engine.Open(ecfg)
 	if err := smallbank.CreateSchema(db); err != nil {
@@ -400,6 +437,7 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 		cyc.ReplayedCommits = rrep.ReplayedCommits
 		cyc.HighCSN = rrep.HighCSN
 		cyc.Segments = rrep.Log.Segments
+		cyc.ChainLinks = rrep.Log.ChainLinks
 
 		recovered, err := captureState(db2)
 		if err != nil {
@@ -470,7 +508,11 @@ func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosReport, error) {
 
 		db = db2
 		if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 {
-			if _, err := db.Checkpoint(); err != nil {
+			ckpt := db.Checkpoint
+			if cfg.Fuzzy {
+				ckpt = db.CheckpointIncremental
+			}
+			if _, err := ckpt(); err != nil {
 				violatef("cycle %d (%s): checkpoint after recovery failed: %v", i, cyc.Point, err)
 			} else {
 				cyc.Checkpointed = true

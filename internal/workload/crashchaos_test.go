@@ -129,6 +129,45 @@ func TestCrashChaosAsync(t *testing.T) {
 	}
 }
 
+// TestCrashChaosFuzzy runs the 20-cycle rotation with the fuzzy
+// incremental checkpoint machinery live: the log-growth scheduler
+// streams delta links concurrently with the burst's commits, full links
+// re-root the chain, covered segments retire (with archiving) while the
+// workload runs, and the rotation includes the mid-delta
+// (wal/ckpt-delta) and mid-retire (wal/retire) crash points. The audit
+// is byte-for-byte the same durability contract: recovered state ==
+// published state, conservation, monotone CSNs, idempotent recovery.
+func TestCrashChaosFuzzy(t *testing.T) {
+	rep, err := RunCrashChaos(CrashChaosConfig{
+		Cycles:      20,
+		Seed:        29,
+		Burst:       measure(60 * time.Millisecond),
+		SegmentSize: 4096,
+		Fuzzy:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("durability invariants violated under fuzzy checkpoints: %v", rep.Violations)
+	}
+	if rep.CrashesFired() == 0 {
+		t.Fatal("no crash fault ever fired")
+	}
+	var chainRecoveries int
+	for _, c := range rep.Cycles {
+		if c.ChainLinks > 0 {
+			chainRecoveries++
+		}
+	}
+	if chainRecoveries == 0 {
+		t.Fatal("no recovery ever folded a fuzzy checkpoint chain")
+	}
+	if rep.ResumeCommits == 0 {
+		t.Fatal("final resume burst committed nothing")
+	}
+}
+
 // TestCrashChaosModes runs a shorter rotation under the other two
 // concurrency-control modes: the durability contract is mode-agnostic.
 func TestCrashChaosModes(t *testing.T) {
