@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos crash walfuzz checkfuzz checksmoke docs trace-smoke overload ci
+.PHONY: all build test short vet race stress fuzz fuzzsmoke bench chaos crash walfuzz checkfuzz checksmoke docs trace-smoke overload servefuzz servechaos ci
 
 all: build test
 
@@ -116,10 +116,11 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkOnlineCheck|BenchmarkIngest' -benchtime 1s -count 3 -benchmem ./internal/onlinecheck | tee bench_check.txt
 	$(GO) test -run XXX -bench 'BenchmarkBeginAdmitted' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_admission.txt
 	$(GO) test -run XXX -bench 'BenchmarkCommitCheckpointMPL16' -benchtime 1s -count 3 -benchmem ./internal/engine | tee bench_ckpt.txt
+	$(GO) test -run XXX -bench 'BenchmarkServerRoundTrip' -benchtime 1s -count 3 -benchmem ./internal/server | tee bench_server.txt
 	$(GO) run ./cmd/benchjson -o BENCH_engine.json \
-		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled). The durable set prices the WAL: latency-only (no device) vs in-memory device (encoding + CRC32C framing) vs real log file (OS write per flushed batch); the CommitDurableMPL16 group prices group commit at 16 committers against a file device with a simulated 200us sync — baseline (one fsync per commit, the pre-coalescing loop) vs coalesced windows vs asynchronous commit vs a segment-rotated log, with commits/sync as the coalescing gauge. The checking set prices the online isolation checker: off/traced/checked time the same commit cycle with ring consumption off-timer (traced->checked is the <=5% commit-path budget), and BenchmarkIngest reports the checker's own off-path cost per event. The admission set prices the adaptive admission gate at Begin: off (Config.Admission nil, one pointer branch — the <=5% acceptance budget against the plain commit cycle) vs on (uncontended fast-path slot acquire/release around each transaction, AIMD controller ticking in the background). The checkpoint set prices checkpoint interference at 16 committers against a file device with a large cold table: none (no checkpoints, the baseline), stw (a stop-the-world Checkpoint every 25ms — commits stall behind the full snapshot and rewrite) and fuzzy (the log-growth scheduler streaming incremental links concurrently with commits); p99-ns is the acceptance gauge — fuzzy must stay within 2x of none, where stw is typically an order of magnitude worse." \
-		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt durable=bench_durable.txt checking=bench_check.txt admission=bench_admission.txt checkpoint=bench_ckpt.txt
-	rm -f bench_latest.txt bench_traced.txt bench_durable.txt bench_check.txt bench_admission.txt bench_ckpt.txt
+		-note "Parallel commit benchmark, uniform keys; baseline = pre-sharding global-mutex design. The tracing set measures the serial commit cycle with the lifecycle recorder absent (off), installed-but-disabled (the <=5% budget: one atomic load per emission point), and capturing (enabled). The durable set prices the WAL: latency-only (no device) vs in-memory device (encoding + CRC32C framing) vs real log file (OS write per flushed batch); the CommitDurableMPL16 group prices group commit at 16 committers against a file device with a simulated 200us sync — baseline (one fsync per commit, the pre-coalescing loop) vs coalesced windows vs asynchronous commit vs a segment-rotated log, with commits/sync as the coalescing gauge. The checking set prices the online isolation checker: off/traced/checked time the same commit cycle with ring consumption off-timer (traced->checked is the <=5% commit-path budget), and BenchmarkIngest reports the checker's own off-path cost per event. The admission set prices the adaptive admission gate at Begin: off (Config.Admission nil, one pointer branch — the <=5% acceptance budget against the plain commit cycle) vs on (uncontended fast-path slot acquire/release around each transaction, AIMD controller ticking in the background). The checkpoint set prices checkpoint interference at 16 committers against a file device with a large cold table: none (no checkpoints, the baseline), stw (a stop-the-world Checkpoint every 25ms — commits stall behind the full snapshot and rewrite) and fuzzy (the log-growth scheduler streaming incremental links concurrently with commits); p99-ns is the acceptance gauge — fuzzy must stay within 2x of none, where stw is typically an order of magnitude worse. The server set prices one full network round-trip — request encode, loopback TCP, line parse, statement execute, response encode/decode — through cmd/sisqld's serving stack (internal/server) with an autocommit single-row SELECT." \
+		baseline=bench/baseline_preshard.txt sharded=bench_latest.txt tracing=bench_traced.txt durable=bench_durable.txt checking=bench_check.txt admission=bench_admission.txt checkpoint=bench_ckpt.txt server=bench_server.txt
+	rm -f bench_latest.txt bench_traced.txt bench_durable.txt bench_check.txt bench_admission.txt bench_ckpt.txt bench_server.txt
 
 # Overload smoke: a short open-system run at an offered load well past
 # saturation with the adaptive admission gate and per-transaction
@@ -132,4 +133,19 @@ overload:
 		-customers 300 -hotspot 20 -ramp 50ms -measure 400ms -seed 7 -check > /dev/null
 	$(GO) test -race -count=1 -run 'TestAdmission|TestRunOpen' ./internal/engine ./internal/workload
 
-ci: build docs test race stress fuzzsmoke chaos crash walfuzz checkfuzz checksmoke trace-smoke overload
+# Fuzz the network server's wire layer: arbitrary bytes through the
+# request decoder and through a full connection drive; the handler must
+# neither panic nor wedge, and must leak no transaction on teardown.
+servefuzz:
+	$(GO) test -fuzz FuzzServerProtocol -fuzztime 10s ./internal/server
+
+# Server chaos gate: repeated cycles of hundreds of churning TCP
+# clients (mid-transaction RST kills, idle lapses, slow transactions)
+# against a live server with wire faults armed and a mid-storm drain,
+# alternating 2PL and SSI. Audits money conservation, zero leaked
+# transactions/locks/gate slots, and a clean online-checker verdict.
+servechaos:
+	SERVECHAOS_FULL=1 $(GO) test -count=1 -timeout 600s -run TestServerChaos ./internal/workload
+	$(GO) test -race -count=1 ./internal/server
+
+ci: build docs test race stress fuzzsmoke chaos crash walfuzz checkfuzz checksmoke trace-smoke overload servefuzz servechaos

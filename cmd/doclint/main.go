@@ -13,7 +13,11 @@
 //     invocation lines inside fenced blocks, must be a flag some
 //     command actually registers (flag.String/Bool/... in cmd/);
 //   - every `sicost_*` expvar name mentioned must be published by a
-//     command (a "sicost_..." string literal in cmd/ sources).
+//     command (a "sicost_..." string literal in cmd/ sources);
+//   - every fault-point name mentioned in an inline code span (a
+//     slash-separated lowercase path like `wal/commit` whose first
+//     segment is a namespace some Fault* constant declares) must match
+//     a declared fault point (`FaultX = "ns/..."` in non-test sources).
 //
 // `make docs` runs it over the whole module alongside go vet.
 //
@@ -148,6 +152,8 @@ var (
 	flagDeclRe     = regexp.MustCompile(`flag\.[A-Za-z0-9]+\(\s*"([^"]+)"`)
 	metricDeclRe   = regexp.MustCompile(`"(sicost_[a-z_]+)"`)
 	metricRefRe    = regexp.MustCompile(`sicost_[a-z_]+`)
+	faultDeclRe    = regexp.MustCompile(`Fault[A-Za-z0-9]*\s*=\s*"([a-z0-9/-]+)"`)
+	faultRefRe     = regexp.MustCompile(`^[a-z][a-z0-9-]*(?:/[a-z0-9-]+)+$`)
 )
 
 // lintDocs verifies that every file under <root>/docs references only
@@ -166,6 +172,10 @@ func lintDocs(root string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	faults, err := collectFaultDecls(root)
+	if err != nil {
+		return nil, err
+	}
 	var problems []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
@@ -176,7 +186,7 @@ func lintDocs(root string) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		problems = append(problems, lintDoc(root, path, string(b), flags, metrics)...)
+		problems = append(problems, lintDoc(root, path, string(b), flags, metrics, faults)...)
 	}
 	return problems, nil
 }
@@ -186,6 +196,9 @@ func lintDocs(root string) ([]string, error) {
 // expvar names, the ground truth the docs are checked against.
 func collectCmdDecls(cmdDir string) (flags, metrics map[string]bool, err error) {
 	flags, metrics = map[string]bool{}, map[string]bool{}
+	if _, serr := os.Stat(cmdDir); os.IsNotExist(serr) {
+		return flags, metrics, nil
+	}
 	err = filepath.WalkDir(cmdDir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
 			return err
@@ -205,11 +218,57 @@ func collectCmdDecls(cmdDir string) (flags, metrics map[string]bool, err error) 
 	return flags, metrics, err
 }
 
+// collectFaultDecls scans the module's non-test Go sources for
+// fault-point constants (FaultX = "ns/point") and returns the declared
+// names plus the set of first-segment namespaces they claim; doc spans
+// shaped like fault points inside a claimed namespace must resolve
+// (spans outside any claimed namespace are left alone — they are paths
+// or something else entirely).
+func collectFaultDecls(root string) (map[string]bool, error) {
+	points := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range faultDeclRe.FindAllStringSubmatch(string(b), -1) {
+			if strings.Contains(m[1], "/") {
+				points[m[1]] = true
+			}
+		}
+		return nil
+	})
+	return points, err
+}
+
+// faultNamespaces derives the namespace set (first path segment) from
+// the declared fault points.
+func faultNamespaces(points map[string]bool) map[string]bool {
+	ns := map[string]bool{}
+	for p := range points {
+		ns[p[:strings.IndexByte(p, '/')]] = true
+	}
+	return ns
+}
+
 // lintDoc checks one markdown file. Flag tokens are collected from
 // inline code spans and from ./cmd/ invocation lines inside fenced
 // blocks (with backslash continuations joined); prose is never
 // scanned, so hyphenated English ("point-in-time") cannot false-fire.
-func lintDoc(root, path, text string, flags, metrics map[string]bool) []string {
+func lintDoc(root, path, text string, flags, metrics, faults map[string]bool) []string {
 	var problems []string
 	flag := func(format string, args ...any) {
 		problems = append(problems, fmt.Sprintf("%s: ", path)+fmt.Sprintf(format, args...))
@@ -248,6 +307,24 @@ func lintDoc(root, path, text string, flags, metrics map[string]bool) []string {
 	for _, tok := range dedup(metricRefRe.FindAllString(text, -1)) {
 		if !metrics[tok] {
 			flag("mentions expvar %s, which no command publishes", tok)
+		}
+	}
+
+	// Fault-point spans: an inline code span that looks like a fault
+	// point and sits in a namespace some Fault* constant claims must be
+	// a declared point, so the docs cannot drift from the injectable
+	// surface.
+	ns := faultNamespaces(faults)
+	var faultToks []string
+	for _, span := range inlineSpanRe.FindAllStringSubmatch(prose, -1) {
+		tok := span[1]
+		if faultRefRe.MatchString(tok) && ns[tok[:strings.IndexByte(tok, '/')]] {
+			faultToks = append(faultToks, tok)
+		}
+	}
+	for _, tok := range dedup(faultToks) {
+		if !faults[tok] {
+			flag("mentions fault point %s, which no Fault constant declares", tok)
 		}
 	}
 	return problems

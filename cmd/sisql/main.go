@@ -10,8 +10,14 @@
 //	sql> UPDATE Checking SET Balance = Balance + 100 WHERE CustomerId = 7
 //	sql> COMMIT
 //
+// The shell is an in-process transport over the same session layer the
+// network server (cmd/sisqld) uses, so statement semantics, abort
+// classification and transaction lifecycle cannot diverge between the
+// two — including disconnect safety: quitting with open transactions
+// rolls them back.
+//
 // Meta commands: \1..\9 switch session, \mode prints the engine mode,
-// \q quits.
+// \q quits (rolling back any open transactions).
 package main
 
 import (
@@ -23,8 +29,8 @@ import (
 
 	"sicost/internal/core"
 	"sicost/internal/engine"
+	"sicost/internal/server"
 	"sicost/internal/smallbank"
-	"sicost/internal/sqlmini"
 )
 
 func main() {
@@ -64,12 +70,23 @@ func main() {
 		cfg.Mode, cfg.Platform, *customers, smallbank.CustomerName(0))
 	fmt.Println(`dialect: SELECT/UPDATE/INSERT/DELETE with "WHERE col = value", BEGIN/COMMIT/ROLLBACK; \q quits`)
 
-	sessions := map[int]*sqlmini.Session{1: sqlmini.NewSession(db)}
+	sessions := map[int]*server.Session{1: server.NewSession(db, server.SessionConfig{})}
 	cur := 1
+	// quit rolls back every session's open transaction before the shell
+	// exits — the shell honors the same disconnect-safety contract as a
+	// dropped network connection.
+	quit := func() {
+		for id, sess := range sessions {
+			if sess.Close() {
+				fmt.Printf("(session %d: open transaction rolled back)\n", id)
+			}
+		}
+	}
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Printf("sql[%d]> ", cur)
 		if !scanner.Scan() {
+			quit()
 			return
 		}
 		line := strings.TrimSpace(scanner.Text())
@@ -79,13 +96,14 @@ func main() {
 		if strings.HasPrefix(line, `\`) {
 			switch {
 			case line == `\q`:
+				quit()
 				return
 			case line == `\mode`:
 				fmt.Printf("%s on %s\n", cfg.Mode, cfg.Platform)
 			case len(line) == 2 && line[1] >= '1' && line[1] <= '9':
 				cur = int(line[1] - '0')
 				if sessions[cur] == nil {
-					sessions[cur] = sqlmini.NewSession(db)
+					sessions[cur] = server.NewSession(db, server.SessionConfig{})
 					fmt.Printf("(new session %d)\n", cur)
 				}
 			default:
@@ -93,57 +111,32 @@ func main() {
 			}
 			continue
 		}
-		if err := run(sessions[cur], line); err != nil {
-			fmt.Println("error:", err)
-			if core.IsRetriable(err) {
-				fmt.Println("(serialization failure: the transaction is aborted; ROLLBACK and retry)")
-			}
-		}
+		render(sessions[cur].Execute(line))
 	}
 }
 
-func run(sess *sqlmini.Session, line string) error {
-	switch strings.ToUpper(strings.TrimSuffix(line, ";")) {
-	case "BEGIN":
-		if err := sess.Begin(); err != nil {
-			return err
+// render prints one structured response the way a shell user reads it.
+func render(r server.Response) {
+	if r.Err != "" {
+		fmt.Println("error:", r.Err)
+		if r.Retriable {
+			fmt.Println("(transient failure: the transaction is aborted; ROLLBACK and retry)")
 		}
-		fmt.Println("BEGIN")
-		return nil
-	case "COMMIT":
-		if err := sess.Commit(); err != nil {
-			return err
-		}
-		fmt.Println("COMMIT")
-		return nil
-	case "ROLLBACK":
-		sess.Rollback()
-		fmt.Println("ROLLBACK")
-		return nil
+		return
 	}
-	stmt, err := sqlmini.Parse(line)
-	if err != nil {
-		return err
-	}
-	if stmt.Kind == sqlmini.StmtSelect {
-		rows, err := sess.Query(stmt, nil)
-		if err != nil {
-			return err
-		}
-		for _, row := range rows {
+	switch {
+	case r.Rows != nil:
+		for _, row := range r.Rows {
 			parts := make([]string, len(row))
 			for i, v := range row {
-				parts[i] = v.String()
+				parts[i] = fmt.Sprint(v)
 			}
 			fmt.Println(strings.Join(parts, " | "))
 		}
-		fmt.Printf("(%d row)\n", len(rows))
-		return nil
+		fmt.Printf("(%d row)\n", len(r.Rows))
+	case r.Status == "OK":
+		fmt.Printf("OK (%d row)\n", r.Affected)
+	default:
+		fmt.Println(r.Status)
 	}
-	n, err := sess.Exec(stmt, nil)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("OK (%d row)\n", n)
-	return nil
 }

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"sicost/internal/server"
+)
+
+// TestSisqldEndToEnd drives the real binary over real TCP: build it,
+// start it on an ephemeral port, hammer it with SmallBank transfer
+// clients, SIGTERM it mid-load, and assert the drain completes with a
+// clean exit code and no leak reported. This is the deployment story —
+// process boundary, signal handling, socket teardown — that in-process
+// tests cannot vouch for.
+func TestSisqldEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sisqld binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sisqld")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-customers", "100",
+		"-idle-timeout", "2s", "-stmt-deadline", "2s", "-drain", "1s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the ephemeral address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listening line; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	addr := strings.TrimPrefix(line, "sisqld: listening on ")
+	if addr == line {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	// Keep draining stdout so the process never blocks on a full pipe,
+	// and capture the drain summary for the final assertions.
+	var outMu sync.Mutex
+	var outRest []string
+	go func() {
+		for sc.Scan() {
+			outMu.Lock()
+			outRest = append(outRest, sc.Text())
+			outMu.Unlock()
+		}
+	}()
+
+	// The load: clients running zero-sum transfers until the server goes
+	// away. Tolerant of every failure mode — the assertion is on the
+	// server's exit, not on any individual client's fortune.
+	var commits atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < 8; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if runTransfers(addr, rng, stop, &commits) {
+					return // server gone for good
+				}
+			}
+		}(id)
+	}
+
+	// Let the storm establish, then deliver the signal under load.
+	deadline := time.Now().Add(3 * time.Second)
+	for commits.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if commits.Load() == 0 {
+		t.Fatalf("no client ever committed; stderr:\n%s", stderr.String())
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	werr := cmd.Wait()
+	close(stop)
+	wg.Wait()
+	if werr != nil {
+		t.Fatalf("sisqld exited dirty: %v\nstderr:\n%s", werr, stderr.String())
+	}
+	outMu.Lock()
+	summary := strings.Join(outRest, "\n")
+	outMu.Unlock()
+	if !strings.Contains(summary, "sisqld: drained:") {
+		t.Fatalf("no drain summary in stdout:\n%s\nstderr:\n%s", summary, stderr.String())
+	}
+	t.Logf("%d commits under load; %s", commits.Load(), summary)
+}
+
+// runTransfers runs transfers on one connection until it dies. It
+// reports true when the server is unreachable (dial failed), false when
+// the connection dropped mid-use (reconnect and continue).
+func runTransfers(addr string, rng *rand.Rand, stop <-chan struct{}, commits *atomic.Uint64) bool {
+	nc, err := net.DialTimeout("tcp", addr, 300*time.Millisecond)
+	if err != nil {
+		select {
+		case <-stop:
+			return true
+		default:
+			time.Sleep(5 * time.Millisecond)
+			return false
+		}
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	send := func(q string) (server.Response, bool) {
+		b, _ := json.Marshal(server.Request{Q: q})
+		nc.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := nc.Write(append(b, '\n')); err != nil {
+			return server.Response{}, false
+		}
+		for {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				return server.Response{}, false
+			}
+			var r server.Response
+			if json.Unmarshal(line, &r) != nil {
+				return server.Response{}, false
+			}
+			if r.Notice != "" && r.Status == "" && r.Err == "" && !r.Final {
+				continue // drain notice
+			}
+			return r, !r.Final
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			return true
+		default:
+		}
+		a, b := 1+rng.Intn(100), 1+rng.Intn(100)
+		if a == b {
+			b = a%100 + 1
+		}
+		ok := true
+		for i, q := range []string{
+			"BEGIN",
+			fmt.Sprintf("UPDATE Checking SET Balance = Balance - 2 WHERE CustomerId = %d", a),
+			fmt.Sprintf("UPDATE Checking SET Balance = Balance + 2 WHERE CustomerId = %d", b),
+			"COMMIT",
+		} {
+			r, alive := send(q)
+			if !alive {
+				return false
+			}
+			if r.Err != "" {
+				if r.InTx {
+					send("ROLLBACK")
+				}
+				ok = false
+				break
+			}
+			if ok && i == 3 {
+				commits.Add(1)
+			}
+		}
+	}
+}

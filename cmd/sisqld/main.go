@@ -1,0 +1,156 @@
+// Command sisqld is the long-running network front-end: it loads a
+// SmallBank database and serves the newline-delimited JSON SQL protocol
+// (docs/SERVER.md) over TCP. Sessions are disconnect-safe — a dropped
+// client always rolls back its open transaction — connection admission
+// is bounded (-max-conns, excess sheds with a structured retriable
+// error), and SIGTERM/SIGINT triggers a graceful drain: stop accepting,
+// notify sessions, wait -drain, hard-abort stragglers, then close the
+// engine and exit 0.
+//
+// Examples:
+//
+//	sisqld -addr :5433 -mode ssi
+//	sisqld -addr 127.0.0.1:0 -customers 100      # ephemeral port, printed on stdout
+//	sisqld -max-conns 64 -idle-timeout 30s -stmt-deadline 2s
+//	sisqld -pprof localhost:6060                 # sicost_server expvar + pprof
+//
+// Talk to it with netcat:
+//
+//	printf '%s\n' '{"q":"SELECT * FROM Checking WHERE CustomerId = 1"}' | nc localhost 5433
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+	"sicost/internal/experiments"
+	"sicost/internal/server"
+	"sicost/internal/smallbank"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:5433", "TCP listen address (port 0 picks an ephemeral port)")
+		platform     = flag.String("platform", "postgres", "platform profile: postgres or commercial")
+		mode         = flag.String("mode", "si", "concurrency control: si, 2pl or ssi")
+		customers    = flag.Int("customers", 1000, "SmallBank customers loaded at startup")
+		seed         = flag.Int64("seed", 1, "load seed")
+		maxConns     = flag.Int("max-conns", server.DefaultMaxConns, "concurrent connection limit (admission gate)")
+		connQueue    = flag.Int("conn-queue", 0, "connections allowed to queue for a slot past -max-conns")
+		idleTimeout  = flag.Duration("idle-timeout", time.Minute, "close connections idle this long, rolling back open transactions (0 = never)")
+		stmtDeadline = flag.Duration("stmt-deadline", server.DefaultStatementDeadline, "per-statement time budget mapped onto the transaction deadline (negative = unbounded)")
+		drain        = flag.Duration("drain", server.DefaultDrainWindow, "graceful-drain window on SIGTERM before stragglers are hard-aborted")
+		lockTimeout  = flag.Duration("locktimeout", 0, "per-transaction lock-wait timeout (0 = wait forever)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+
+	var engCfg engine.Config
+	switch *platform {
+	case "postgres":
+		engCfg = experiments.PostgresDB(1.0)
+	case "commercial":
+		engCfg = experiments.CommercialDB(1.0)
+	default:
+		fmt.Fprintf(os.Stderr, "sisqld: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	switch *mode {
+	case "si":
+	case "2pl":
+		engCfg.Mode = core.Strict2PL
+	case "ssi":
+		engCfg.Mode = core.SerializableSI
+	default:
+		fmt.Fprintf(os.Stderr, "sisqld: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	engCfg.LockWaitTimeout = *lockTimeout
+	// Serve on free hardware: the simulated per-operation delays model
+	// the paper's measured platforms, which is workload-harness business,
+	// not an interactive server's.
+	engCfg.Res.VirtualCPUs = 0
+
+	db := engine.Open(engCfg)
+	if err := smallbank.CreateSchema(db); err != nil {
+		fmt.Fprintln(os.Stderr, "sisqld:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loading %d customers...\n", *customers)
+	if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: *customers, Seed: *seed}); err != nil {
+		fmt.Fprintln(os.Stderr, "sisqld:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		DB:                db,
+		MaxConns:          *maxConns,
+		ConnQueue:         *connQueue,
+		IdleTimeout:       *idleTimeout,
+		StatementDeadline: *stmtDeadline,
+		DrainWindow:       *drain,
+	})
+
+	if *pprofAddr != "" {
+		// Live server gauges and counters next to the engine's transaction
+		// metrics: `curl host/debug/vars` shows sessions, sheds, drains and
+		// aborted-on-disconnect counts (see docs/SERVER.md).
+		expvar.Publish("sicost_server", expvar.Func(func() any { return srv.Stats() }))
+		expvar.Publish("sicost_txn_metrics", expvar.Func(func() any { return db.TxnMetrics() }))
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof/expvar: http://%s/debug/pprof http://%s/debug/vars\n", *pprofAddr, *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sisqld: pprof server:", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sisqld:", err)
+		os.Exit(1)
+	}
+	// Stdout, unbuffered by line: the e2e harness (and scripts) parse
+	// this line for the ephemeral port.
+	fmt.Printf("sisqld: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "sisqld: %s: draining (window %v)...\n", sig, *drain)
+		srv.Shutdown()
+		close(done)
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "sisqld: serve:", err)
+		os.Exit(1)
+	}
+	<-done
+	db.Close()
+
+	st := srv.Stats()
+	fmt.Printf("sisqld: drained: %d conns served, %d drained, %d hard-closed, %d txns aborted on disconnect, %d shed\n",
+		st.Accepted, st.Drained, st.HardClosed, st.AbortedOnDisconnect, st.Shed)
+	if st.Gate.InFlight != 0 || st.Gate.QueueDepth != 0 {
+		fmt.Fprintf(os.Stderr, "sisqld: admission gate leak: %d in flight, %d queued after drain\n",
+			st.Gate.InFlight, st.Gate.QueueDepth)
+		os.Exit(1)
+	}
+	if n := db.InFlightTxns(); n != 0 {
+		fmt.Fprintf(os.Stderr, "sisqld: transaction leak: %d in flight after drain\n", n)
+		os.Exit(1)
+	}
+}

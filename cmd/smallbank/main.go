@@ -72,6 +72,7 @@ func main() {
 		walPath      = flag.String("wal", "", "durable log file; a non-empty file is recovered instead of loaded")
 		walAsync     = flag.Bool("wal-async", false, "asynchronous commit (synchronous_commit=off): publish before durable")
 		walSegSize   = flag.Int64("wal-segment-size", 0, "rotate the log into wal.NNNN segments at this many bytes; -wal names a directory")
+		walPrealloc  = flag.Int64("wal-prealloc", 0, "create wal.NNNN segments at this physical size up front (needs -wal-segment-size)")
 		ckptBytes    = flag.Int64("ckpt-bytes", 0, "fuzzy incremental checkpoint after this many bytes of log growth (0 = off)")
 		ckptChain    = flag.Int("ckpt-chain", 0, "delta links per chain before a full link re-roots it (0 = engine default)")
 		retire       = flag.Bool("retire", false, "retire fully-covered wal.NNNN segments after each chain re-root (needs -wal-segment-size)")
@@ -155,6 +156,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smallbank: -archive needs -retire")
 		os.Exit(2)
 	}
+	if *walPrealloc > 0 && *walSegSize <= 0 {
+		fmt.Fprintln(os.Stderr, "smallbank: -wal-prealloc needs a segmented log (-wal-segment-size > 0)")
+		os.Exit(2)
+	}
+	engCfg.WAL.PreallocBytes = *walPrealloc
 	engCfg.CheckpointLogBytes = *ckptBytes
 	engCfg.CheckpointChainMax = *ckptChain
 	engCfg.RetireSegments = *retire

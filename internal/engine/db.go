@@ -249,6 +249,10 @@ type DB struct {
 	closeMu  sync.Mutex
 	closing  bool
 	inflight sync.WaitGroup
+	// inflightN mirrors the WaitGroup as a readable gauge: the number of
+	// registered (begun, not yet ended) transactions. The server layer's
+	// leak audits assert it returns to zero after a drain.
+	inflightN atomic.Int64
 
 	// gate is the admission limiter (nil when Config.Admission is nil).
 	// Begin acquires a slot before registering with the shutdown drain;
@@ -919,6 +923,7 @@ func (db *DB) Begin() *Tx {
 		return &Tx{db: db, failedErr: core.ErrShuttingDown}
 	}
 	db.inflight.Add(1)
+	db.inflightN.Add(1)
 	db.closeMu.Unlock()
 
 	// Per-transaction base CPU (parse, plan, session round trip), plus
@@ -962,9 +967,16 @@ func (db *DB) endTx(tx *Tx) {
 			tx.admitted = false
 			db.gate.Release()
 		}
+		db.inflightN.Add(-1)
 		db.inflight.Done()
 	}
 }
+
+// InFlightTxns returns the number of registered transactions that have
+// begun and not yet committed or aborted. A quiescent database reports
+// zero; the server chaos harness's leaked-transaction invariant checks
+// exactly that after every drain.
+func (db *DB) InFlightTxns() int64 { return db.inflightN.Load() }
 
 // ScanLatest iterates the newest committed record of every row of the
 // named table, in key order. It bypasses transactions and is intended

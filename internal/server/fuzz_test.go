@@ -1,0 +1,100 @@
+package server
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+	"sicost/internal/engine"
+	"sicost/internal/smallbank"
+)
+
+// fuzzSrv is a shared server instance for the protocol fuzzer: one
+// engine and one Server reused across iterations (per-iteration engines
+// would dominate the fuzz loop's cost).
+var (
+	fuzzOnce sync.Once
+	fuzzS    *Server
+)
+
+func fuzzServer() *Server {
+	fuzzOnce.Do(func() {
+		db := engine.Open(engine.Config{Mode: core.SnapshotFUW, Platform: core.PlatformPostgres})
+		if err := smallbank.CreateSchema(db); err != nil {
+			panic(err)
+		}
+		if _, err := smallbank.Load(db, smallbank.LoadConfig{Customers: 4, Seed: 1}); err != nil {
+			panic(err)
+		}
+		fuzzS = New(Config{
+			DB:       db,
+			MaxConns: 64,
+			// Generous idle timeout: a backstop against a wedged reader,
+			// never the reason an iteration ends. The tight statement
+			// deadline keeps self-blocking inputs (sibling sessions
+			// contending for one lock) well under the wedge timeout.
+			IdleTimeout:       5 * time.Second,
+			StatementDeadline: time.Second,
+			MaxLine:           1 << 16,
+		})
+	})
+	return fuzzS
+}
+
+// FuzzServerProtocol throws arbitrary bytes at the wire layer twice
+// over: DecodeRequest directly (must never panic), and a full
+// connection drive through ServeConn (the handler must neither panic
+// nor wedge — it must return promptly once the client is gone, with no
+// transaction left behind). Seeds cover truncated lines, huge lines,
+// invalid UTF-8 and interleaved sessions.
+func FuzzServerProtocol(f *testing.F) {
+	f.Add([]byte(`{"q":"SELECT Balance FROM Checking WHERE CustomerId = 1"}` + "\n"))
+	f.Add([]byte(`{"q":"BEGIN","session":3}` + "\n" + `{"q":"COMMIT","session":3}` + "\n"))
+	f.Add([]byte(`{"q":"BEGIN","session":1}` + "\n" + `{"q":"BEGIN","session":2}` + "\n"))
+	f.Add([]byte(`{"q":"UPDATE Checking SET Balance = Balance + 1 WHERE CustomerId = 1"}`)) // no newline: truncated
+	f.Add([]byte(`{"q":"SELECT`))
+	f.Add([]byte("{\"q\":\"\xff\xfe not utf8\"}\n"))
+	f.Add([]byte(`{"session":99,"q":"SELECT 1"}` + "\n"))
+	f.Add([]byte(`{"q":""}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`[1,2,3]` + "\n{}\ntrue\n"))
+	f.Add(make([]byte, 9000)) // NULs: one huge garbage line
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Layer 1: the decoder alone, on the raw bytes as one line.
+		DecodeRequest(data)
+
+		// Layer 2: the full connection machinery over an in-memory pipe.
+		srv := fuzzServer()
+		sconn, cconn := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			srv.ServeConn(sconn)
+			close(done)
+		}()
+		// net.Pipe is synchronous: drain everything the server says so
+		// its writes never block on us.
+		go io.Copy(io.Discard, cconn)
+
+		cconn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		cconn.Write(data)
+		cconn.Close()
+
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("connection handler wedged on %d-byte input", len(data))
+		}
+		// Whatever transactions the bytes opened died with the conn.
+		deadline := time.Now().Add(2 * time.Second)
+		for srv.db.InFlightTxns() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("leaked %d transactions after connection teardown", srv.db.InFlightTxns())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}

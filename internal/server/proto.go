@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"sicost/internal/core"
+)
+
+// The wire protocol is newline-delimited JSON: one request object per
+// line in, one response object per line out, in request order. A
+// connection multiplexes up to MaxSessions independent SQL sessions,
+// selected per request by the "session" field (default 0) — the network
+// equivalent of cmd/sisql's \1..\9 session switching.
+
+// Request is one client request line.
+type Request struct {
+	// Q is the SQL statement (the sqlmini dialect, plus
+	// BEGIN/COMMIT/ROLLBACK).
+	Q string `json:"q"`
+	// Session selects which of the connection's sessions executes Q;
+	// sessions are created on first use. Must be in [0, MaxSessions).
+	Session int `json:"session,omitempty"`
+}
+
+// Response is one server response line.
+type Response struct {
+	// Session echoes the request's session id.
+	Session int `json:"session,omitempty"`
+	// Status reports the outcome of a successful request: "BEGIN",
+	// "COMMIT", "ROLLBACK" or "OK".
+	Status string `json:"status,omitempty"`
+	// Rows carries a SELECT's result rows: integers as JSON numbers,
+	// strings as JSON strings.
+	Rows [][]any `json:"rows,omitempty"`
+	// Affected is the row count of a successful UPDATE/INSERT/DELETE.
+	Affected int `json:"affected,omitempty"`
+	// Err is the error message of a failed request.
+	Err string `json:"error,omitempty"`
+	// Abort is the core.ClassifyAbort class name of Err
+	// ("serialization", "deadline", "overload", ...).
+	Abort string `json:"abort,omitempty"`
+	// Retriable marks transient failures (core.IsRetriable): abort the
+	// transaction, back off, rerun.
+	Retriable bool `json:"retriable,omitempty"`
+	// InTx reports whether the session still holds an open transaction
+	// after this request (a failed statement poisons but does not close
+	// an explicit transaction — the client must ROLLBACK).
+	InTx bool `json:"in_tx,omitempty"`
+	// Notice carries out-of-band server messages: the drain
+	// notification, the idle-timeout close, the overload shed.
+	Notice string `json:"notice,omitempty"`
+	// Final marks the connection's last response: the server closes the
+	// connection after writing it (shed, protocol failure, idle
+	// timeout).
+	Final bool `json:"final,omitempty"`
+}
+
+// MaxSessions is the per-connection session bound: requests selecting a
+// session id outside [0, MaxSessions) are rejected, so a hostile client
+// cannot grow the session map without opening connections (which the
+// admission gate bounds).
+const MaxSessions = 16
+
+// DecodeRequest parses one request line. It never panics on arbitrary
+// bytes (FuzzServerProtocol pins that down) and rejects session ids
+// outside the per-connection bound.
+func DecodeRequest(line []byte) (Request, error) {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return Request{}, fmt.Errorf("server: bad request: %w", err)
+	}
+	if req.Session < 0 || req.Session >= MaxSessions {
+		return Request{}, fmt.Errorf("server: session %d out of [0, %d)", req.Session, MaxSessions)
+	}
+	if strings.TrimSpace(req.Q) == "" {
+		return Request{}, fmt.Errorf("server: empty statement")
+	}
+	return req, nil
+}
+
+// EncodeResponse renders one response line, newline included. Response
+// values are JSON-safe by construction (int64 and string row values),
+// so encoding cannot fail.
+func EncodeResponse(r Response) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Unreachable with well-formed Rows; keep the wire alive anyway.
+		b, _ = json.Marshal(Response{Err: "server: response encoding failed", Abort: core.AbortOther.String()})
+	}
+	return append(b, '\n')
+}
+
+// errResponse builds the structured error reply for err, carrying the
+// abort taxonomy class and the retriable flag the client's retry
+// discipline keys on.
+func errResponse(err error, inTx bool) Response {
+	return Response{
+		Err:       err.Error(),
+		Abort:     core.ClassifyAbort(err).String(),
+		Retriable: core.IsRetriable(err),
+		InTx:      inTx,
+	}
+}

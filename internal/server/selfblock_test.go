@@ -1,0 +1,44 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"sicost/internal/core"
+)
+
+// TestSelfBlockAcrossSessions pins down the one-goroutine liveness
+// hazard: a connection's sessions execute sequentially, so if session 2
+// waits on a lock session 1 of the same connection holds, no client
+// action can ever release it — the connection has self-deadlocked. The
+// default statement deadline must unwedge it: the blocked statement
+// fails with the deadline reason instead of hanging the connection (and
+// with it, Shutdown) forever.
+func TestSelfBlockAcrossSessions(t *testing.T) {
+	db := newBankDB(t, 4)
+	_, addr := startServer(t, Config{DB: db, StatementDeadline: 200 * time.Millisecond})
+	c := dial(t, addr)
+	defer c.nc.Close()
+
+	c.mustOK("BEGIN", 1)
+	c.mustOK("UPDATE Checking SET Balance = Balance + 1 WHERE CustomerId = 1", 1)
+	c.mustOK("BEGIN", 2)
+
+	done := make(chan Response, 1)
+	go func() { done <- c.send("UPDATE Checking SET Balance = Balance + 2 WHERE CustomerId = 1", 2) }()
+	select {
+	case r := <-done:
+		if r.Err == "" {
+			t.Fatalf("conflicting write in sibling session succeeded: %+v", r)
+		}
+		if r.Abort != core.AbortDeadline.String() {
+			t.Fatalf("abort class %q, want %q", r.Abort, core.AbortDeadline)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("connection self-deadlocked: session 2 wedged on session 1's lock")
+	}
+
+	// Session 1 is untouched; session 2 is poisoned but clearable.
+	c.mustOK("COMMIT", 1)
+	c.mustOK("ROLLBACK", 2)
+}

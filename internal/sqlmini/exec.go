@@ -19,17 +19,35 @@ type Row []core.Value
 type Session struct {
 	db *engine.DB
 	tx *engine.Tx
+	// txInit, when set, is applied to every transaction the session
+	// begins — explicit Begin and the one-statement auto-commit
+	// transactions alike. The server layer uses it to stamp per-statement
+	// deadlines (Tx.SetDeadline) uniformly on both paths.
+	txInit func(*engine.Tx)
 }
 
 // NewSession opens a session on db.
 func NewSession(db *engine.DB) *Session { return &Session{db: db} }
+
+// SetTxInit installs a hook run on every transaction this session
+// begins, right after DB.Begin (nil removes it).
+func (s *Session) SetTxInit(fn func(*engine.Tx)) { s.txInit = fn }
+
+// begin starts an engine transaction with the init hook applied.
+func (s *Session) begin() *engine.Tx {
+	tx := s.db.Begin()
+	if s.txInit != nil {
+		s.txInit(tx)
+	}
+	return tx
+}
 
 // Begin starts a transaction; it fails if one is open.
 func (s *Session) Begin() error {
 	if s.tx != nil {
 		return fmt.Errorf("sqlmini: transaction already open")
 	}
-	s.tx = s.db.Begin()
+	s.tx = s.begin()
 	return nil
 }
 
@@ -60,7 +78,7 @@ func (s *Session) autoTx(fn func(tx *engine.Tx) error) error {
 	if s.tx != nil {
 		return fn(s.tx)
 	}
-	tx := s.db.Begin()
+	tx := s.begin()
 	if err := fn(tx); err != nil {
 		tx.Abort()
 		return err

@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// physSize is the on-disk size of segment idx in dir.
+func physSize(t *testing.T, dir string, idx int) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, SegmentName(idx)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestPreallocPhysicalVsLogical: with PreallocBytes set, segments are
+// created at full physical size while the logical tail tracks only
+// appended bytes, and sealing a segment at rotation trims the padding
+// away.
+func TestPreallocPhysicalVsLogical(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := OpenSegmentLog(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	w := New(Config{Device: dev, PreallocBytes: 1024}) // plumbs SetPrealloc
+	defer w.Close()
+
+	if err := durableCommit(w, 1); err != nil {
+		t.Fatal(err)
+	}
+	logical := dev.Size()
+	if logical <= 0 || logical >= 256 {
+		t.Fatalf("logical size %d, want one small record", logical)
+	}
+	if got := physSize(t, dir, 0); got != 1024 {
+		t.Fatalf("current segment physical size %d, want preallocated 1024", got)
+	}
+
+	// Rotate: keep committing until a second segment appears.
+	csn := uint64(2)
+	for dev.SegmentCount() < 2 {
+		if err := durableCommit(w, csn); err != nil {
+			t.Fatal(err)
+		}
+		csn++
+	}
+	segs, err := dev.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := physSize(t, dir, 0); got != int64(len(segs[0].Data)) {
+		t.Fatalf("sealed segment physical size %d, want trimmed to logical %d", got, len(segs[0].Data))
+	}
+	if got := physSize(t, dir, 1); got != 1024 {
+		t.Fatalf("new current segment physical size %d, want preallocated 1024", got)
+	}
+	// The logical accounting never sees the padding.
+	var sum int64
+	for _, s := range segs {
+		sum += int64(len(s.Data))
+	}
+	if dev.Size() != sum {
+		t.Fatalf("Size() = %d, want logical sum %d", dev.Size(), sum)
+	}
+}
+
+// TestPreallocCrashRecovery: a crash leaves the current segment's zero
+// padding on disk; recovery's torn-tail scan cuts it like any torn
+// write, losing no commits, and the repaired log keeps working with
+// preallocation re-enabled.
+func TestPreallocCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := OpenSegmentLog(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetPrealloc(1024); err != nil {
+		t.Fatal(err)
+	}
+	w := New(Config{Device: dev})
+	for csn := uint64(1); csn <= 10; csn++ {
+		if err := durableCommit(w, csn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := dev.SegmentCount()
+	w.Close()
+	dev.Close() // crash: the padded current segment stays on disk
+
+	dev2, err := OpenSegmentLog(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Recover(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Commits) != 10 || info.HighCSN != 10 {
+		t.Fatalf("recovery over padding lost commits: %d, HighCSN %d", len(info.Commits), info.HighCSN)
+	}
+	if info.TornBytes == 0 || !info.Repaired {
+		t.Fatalf("padding not treated as torn tail: %+v", info)
+	}
+	if got := physSize(t, dir, segs-1); got != int64(info.ValidBytes)-sealedBytes(t, dev2, segs-1) {
+		t.Fatalf("repair left physical size %d on the tail segment", got)
+	}
+
+	// The repaired log accepts new preallocated traffic.
+	w2 := New(Config{Device: dev2, PreallocBytes: 1024})
+	if err := durableCommit(w2, 11); err != nil {
+		t.Fatal(err)
+	}
+	if got := physSize(t, dir, segs-1); got != 1024 {
+		t.Fatalf("re-preallocation missing: physical size %d, want 1024", got)
+	}
+	w2.Close()
+	dev2.Close()
+
+	// And recovers again, still losing nothing.
+	dev3, err := OpenSegmentLog(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev3.Close()
+	info3, err := Recover(dev3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info3.Commits) != 11 || info3.HighCSN != 11 {
+		t.Fatalf("second recovery lost commits: %d, HighCSN %d", len(info3.Commits), info3.HighCSN)
+	}
+}
+
+// sealedBytes sums the logical bytes of every segment before idx.
+func sealedBytes(t *testing.T, dev *SegmentLog, idx int) int64 {
+	t.Helper()
+	segs, err := dev.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, s := range segs {
+		if s.Index < idx {
+			n += int64(len(s.Data))
+		}
+	}
+	return n
+}
+
+// TestPreallocMemNoop: the in-memory backend ignores preallocation;
+// sizes stay logical.
+func TestPreallocMemNoop(t *testing.T) {
+	dev, err := NewMemSegmentLog(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetPrealloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	w := New(Config{Device: dev})
+	defer w.Close()
+	if err := durableCommit(w, 1); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Size() >= 256 {
+		t.Fatalf("mem log size %d inflated by prealloc", dev.Size())
+	}
+}

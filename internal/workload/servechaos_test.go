@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestServerChaos runs the client-churn + wire-fault harness. The
+// default shape is CI-sized; SERVECHAOS_FULL=1 (set by `make
+// servechaos`) scales it to the acceptance gate: 20 cycles, a couple
+// hundred concurrent sockets, drain mid-storm every cycle.
+func TestServerChaos(t *testing.T) {
+	cfg := ServerChaosConfig{Cycles: 2, Clients: 24, Customers: 50, Churn: 250 * time.Millisecond, Seed: 1}
+	if os.Getenv("SERVECHAOS_FULL") != "" {
+		cfg = ServerChaosConfig{Cycles: 20, Clients: 220, Customers: 200, Churn: 400 * time.Millisecond, Seed: 1}
+	} else if testing.Short() {
+		cfg.Cycles = 1
+	}
+
+	rep, err := RunServerChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commits, kills, faults, sheds, aborted uint64
+	for _, c := range rep.Cycles {
+		commits += c.Commits
+		kills += c.Kills
+		faults += c.FaultsFired
+		sheds += c.Server.Shed
+		aborted += c.Server.AbortedOnDisconnect
+		t.Logf("cycle %d (%v): %d commits, %d kills, %d reconnects, %d shed, %d faults, %d aborted-on-disconnect, %d drained + %d hard-closed",
+			c.Cycle, c.Mode, c.Commits, c.Kills, c.Reconnects, c.Server.Shed,
+			c.FaultsFired, c.Server.AbortedOnDisconnect, c.Server.Drained, c.Server.HardClosed)
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	// The harness must actually exercise the adversarial paths, or the
+	// invariant audit is vacuous.
+	if commits == 0 {
+		t.Error("no transfer ever committed: the storm did no work")
+	}
+	if kills == 0 {
+		t.Error("no client was ever killed: the churn is too gentle")
+	}
+	if faults == 0 {
+		t.Error("no wire fault ever fired")
+	}
+	if aborted == 0 {
+		t.Error("no transaction was ever aborted on disconnect: the kill paths missed the sessions")
+	}
+}
